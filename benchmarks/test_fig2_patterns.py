@@ -1,0 +1,115 @@
+"""Fig. 2 — the three pilot-based workflow patterns.
+
+The paper distinguishes the conventional pattern (all pilots on one
+system), the distributed static pattern (pre-defined multi-resource
+mapping) and the distributed dynamic pattern (per-stage decisions from
+runtime information).  The reproduction runs the same B. glumae workload
+under each pattern and compares TTC; the dynamic pattern's value on
+memory-gated data (choosing r3.2xlarge for P. crispa) is exercised by the
+pipeline test suite and by Table IV.
+"""
+
+import functools
+
+import pytest
+
+from repro.bench.harness import bench_dataset, format_table
+from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.core.schemes import MatchingScheme
+from repro.core.workflow import WorkflowPattern
+
+KS = (35, 41, 47)
+
+
+@functools.lru_cache(maxsize=1)
+def pattern_results():
+    from repro.bench.calibration import calibrated_cost_model
+
+    ds = bench_dataset("B_glumae")
+    cm = calibrated_cost_model()
+    runs = {}
+    # Conventional: everything on a single fixed node (jobs serialize).
+    runs["conventional"] = RnnotatorPipeline(cm).run(
+        ds,
+        PipelineConfig(
+            assemblers=("ray",), kmer_list=KS,
+            workflow=WorkflowPattern.CONVENTIONAL,
+            scheme=MatchingScheme.S2,
+            instance_type="c3.2xlarge",
+            max_nodes=1,
+        ),
+    )
+    # Distributed static: fixed instance type, pre-defined fleet sizing.
+    runs["static"] = RnnotatorPipeline(cm).run(
+        ds,
+        PipelineConfig(
+            assemblers=("ray",), kmer_list=KS,
+            workflow=WorkflowPattern.DISTRIBUTED_STATIC,
+            scheme=MatchingScheme.S2,
+            instance_type="c3.2xlarge",
+        ),
+    )
+    # Distributed dynamic: instance + fleet decided from runtime info.
+    runs["dynamic"] = RnnotatorPipeline(cm).run(
+        ds,
+        PipelineConfig(
+            assemblers=("ray",), kmer_list=KS,
+            workflow=WorkflowPattern.DISTRIBUTED_DYNAMIC,
+            scheme=MatchingScheme.S2,
+        ),
+    )
+    return runs
+
+
+def test_fig2_workflow_patterns(benchmark, report_sink):
+    runs = benchmark.pedantic(pattern_results, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            r.plan.n_nodes,
+            f"{r.stage_ttc('transcript-assembly'):.0f}",
+            f"{r.total_ttc:.0f}",
+            f"{r.total_cost:.2f}",
+        ]
+        for name, r in runs.items()
+    ]
+    table = format_table(
+        f"Fig. 2: workflow patterns (B. glumae, ray, k={list(KS)})",
+        ["Pattern", "assembly nodes", "assembly TTC(s)", "total TTC(s)",
+         "cost USD"],
+        rows,
+    )
+    report_sink.append(table)
+    print("\n" + table)
+
+    conv, stat, dyn = runs["conventional"], runs["static"], runs["dynamic"]
+    # Distributed patterns beat the conventional single-system pattern by
+    # running the k-mer jobs concurrently.
+    assert stat.stage_ttc("transcript-assembly") < conv.stage_ttc(
+        "transcript-assembly"
+    )
+    assert dyn.stage_ttc("transcript-assembly") < conv.stage_ttc(
+        "transcript-assembly"
+    )
+    assert stat.total_ttc < conv.total_ttc
+    # For B. glumae the dynamic planner also lands on c3.2xlarge (it is
+    # the cheapest type whose memory fits), so static == dynamic here.
+    assert dyn.stages[1].instance_type == "c3.2xlarge"
+    assert dyn.total_ttc == pytest.approx(stat.total_ttc, rel=0.05)
+    # Functional output identical across patterns.
+    assert [t.seq for t in conv.transcripts] == [
+        t.seq for t in stat.transcripts
+    ] == [t.seq for t in dyn.transcripts]
+
+
+def test_fig2_conventional_serializes_jobs(benchmark):
+    runs = benchmark.pedantic(pattern_results, rounds=1, iterations=1)
+    conv, stat = runs["conventional"], runs["static"]
+    # Serialized jobs take sum(t_k); the distributed stage takes max(t_k).
+    # The ratio stays well below the job count because the k-mer jobs are
+    # heterogeneous (k=35 processes ~4x the k-mers of k=47) — exactly the
+    # "optimization problem for heterogeneous tasks" the paper discusses.
+    ratio = conv.stage_ttc("transcript-assembly") / stat.stage_ttc(
+        "transcript-assembly"
+    )
+    assert 1.3 < ratio < len(KS)

@@ -1,0 +1,70 @@
+"""Table II — data sets for the benchmark experiments.
+
+Regenerates the paper's data-set characteristics table from the specs and
+the actual generated analogs (paper-scale columns plus the simulation
+scale used throughout the benchmarks).
+"""
+
+from repro.bench.harness import BENCH_PARAMS, bench_dataset, format_table
+from repro.core.planner import select_kmer_list
+from repro.seq.datasets import B_GLUMAE, GB, P_CRISPA
+
+
+def render_table2() -> str:
+    rows = []
+    for spec in (B_GLUMAE, P_CRISPA):
+        ds = bench_dataset(spec.name)
+        rows.append(
+            [
+                spec.name,
+                spec.organism_type,
+                f"{spec.genome_size_bp / 1e6:.1f} Mb",
+                spec.n_protein_genes,
+                f"{spec.fastq_bytes / GB:.1f} GB",
+                spec.read_length,
+                f"{spec.n_reads:,}" + (" x 2" if spec.paired else ""),
+                "yes" if spec.paired else "no",
+                f"{spec.preprocess_memory_bytes / GB:.0f} GB",
+                ",".join(map(str, spec.kmer_list)),
+                f"{ds.read_scale:.1e}",
+            ]
+        )
+    return format_table(
+        "Table II: benchmark data sets (paper scale + analog scale)",
+        [
+            "Organism", "Type", "Genome", "Genes", "FASTQ", "Read len",
+            "Reads", "Paired", "Preproc mem", "k-mers", "sim read scale",
+        ],
+        rows,
+    )
+
+
+def test_table2_dataset_characteristics(benchmark, report_sink):
+    table = render_table2()
+    report_sink.append(table)
+    print("\n" + table)
+
+    # Paper-scale constants (Table II).
+    assert B_GLUMAE.genome_size_bp == 6_700_000
+    assert P_CRISPA.genome_size_bp == 34_500_000
+    assert B_GLUMAE.n_protein_genes == 5_223
+    assert P_CRISPA.n_protein_genes == 13_617
+    assert B_GLUMAE.kmer_list == (35, 37, 39, 41, 43, 45, 47)
+    assert P_CRISPA.kmer_list == (51, 55, 59, 63)
+    # The k-mer selection rule regenerates both lists from read length.
+    assert select_kmer_list(B_GLUMAE.read_length) == B_GLUMAE.kmer_list
+    assert select_kmer_list(P_CRISPA.read_length) == P_CRISPA.kmer_list
+
+    # The analogs exist at the documented scales and look right.
+    ds_bg = benchmark.pedantic(
+        lambda: bench_dataset("B_glumae"), rounds=1, iterations=1
+    )
+    ds_pc = bench_dataset("P_crispa")
+    assert not ds_bg.spec.paired and ds_pc.spec.paired
+    assert ds_bg.run.spec.read_length == 50
+    assert ds_pc.run.spec.read_length == 100
+    assert len(ds_pc.run.mates) == len(ds_pc.run.reads)
+    assert set(BENCH_PARAMS) == {"B_glumae", "P_crispa"}
+    # Data volume ratio between the two sets is preserved within 2x of the
+    # paper's 26.2/3.8 ratio at paper scale (exact by construction).
+    assert ds_pc.spec.fastq_bytes / ds_bg.spec.fastq_bytes > 5

@@ -1,0 +1,63 @@
+"""Table III — baseline TTC of the three de novo assemblers.
+
+Paper: B. glumae data, k=47, two c3.2xlarge nodes:
+Ray 1,721 s | ABySS 882 s | Contrail 6,720 s.
+
+These three numbers are the calibration anchors of the cost model (see
+``repro.bench.calibration``), so the reproduction here verifies that the
+calibrated model prices the *measured* bench-scale executions back onto
+the paper's numbers, and that the relative ordering is an emergent
+property of the assemblers' real usage profiles (messages, serial
+fractions, job counts), not of per-assembler fudge factors.
+"""
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.calibration import (
+    ANCHOR_DATASET,
+    ANCHOR_INSTANCE,
+    ANCHOR_K,
+    ANCHOR_NODES,
+    TABLE3_TARGETS,
+    anchor_report,
+)
+from repro.bench.harness import format_table
+
+
+def test_table3_baseline_ttc(benchmark, cost_model, report_sink):
+    rows = benchmark.pedantic(anchor_report, rounds=1, iterations=1)
+    table = format_table(
+        f"Table III: baseline assembler TTC "
+        f"({ANCHOR_DATASET}, k={ANCHOR_K}, {ANCHOR_NODES}x{ANCHOR_INSTANCE})",
+        ["Assembler", "Paper TTC (s)", "Reproduced TTC (s)"],
+        [[n, f"{t:.0f}", f"{p:.0f}"] for n, t, p in rows],
+    )
+    report_sink.append(table)
+    print("\n" + table)
+
+    by_name = {n: p for n, _, p in rows}
+    # Anchors land on the paper's numbers (calibration identity).
+    for name, target in TABLE3_TARGETS.items():
+        assert by_name[name] == pytest.approx(target, rel=0.02)
+    # The ordering the paper reports.
+    assert by_name["abyss"] < by_name["ray"] < by_name["contrail"]
+    # Contrail's penalty vs the MPI assemblers is multiples, not percents.
+    assert by_name["contrail"] > 3 * by_name["ray"]
+
+
+def test_table3_job_structure(benchmark, cost_model):
+    """The cost decomposition matches the mechanisms the paper names:
+    Contrail pays a many-job Hadoop chain; Ray pays fine-grained messages;
+    ABySS carries a serial master fraction."""
+    ds = harness.bench_dataset(ANCHOR_DATASET)
+    ray = benchmark.pedantic(
+        lambda: harness.run_assembly(ANCHOR_DATASET, "ray", ANCHOR_K, 16),
+        rounds=1, iterations=1,
+    )
+    abyss = harness.run_assembly(ANCHOR_DATASET, "abyss", ANCHOR_K, 16)
+    contrail = harness.run_assembly(ANCHOR_DATASET, "contrail", ANCHOR_K, 16)
+
+    assert contrail.usage.n_jobs >= 5
+    assert ray.usage.n_messages > abyss.usage.n_messages > 0
+    assert abyss.usage.serial_compute > ray.usage.serial_compute

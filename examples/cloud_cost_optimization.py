@@ -1,0 +1,69 @@
+"""Pilot-VM matching schemes: the S1 vs S2 cost/TTC trade-off (Fig. 5).
+
+On-demand clouds make the user responsible for VM lifetimes.  The paper
+defines two matching schemes:
+
+* S1 couples each pilot to freshly provisioned VMs — per-stage instance
+  optimization, but extra provisioning and inter-pilot data transfers;
+* S2 reuses one VM pool across pilots — no transfer overhead, but the
+  pool's type must satisfy the most demanding stage.
+
+This example runs the same workload under both schemes (and under S2 on
+the expensive memory-optimized type) and prints the trade-off table.
+
+Run:  python examples/cloud_cost_optimization.py
+"""
+
+from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.core.schemes import MatchingScheme
+from repro.seq.datasets import tiny_dataset
+
+CONFIGS = {
+    "S2 on c3.2xlarge": PipelineConfig(
+        assemblers=("ray", "abyss"), kmer_list=(35, 41),
+        scheme=MatchingScheme.S2, instance_type="c3.2xlarge",
+    ),
+    "S1 on c3.2xlarge": PipelineConfig(
+        assemblers=("ray", "abyss"), kmer_list=(35, 41),
+        scheme=MatchingScheme.S1, instance_type="c3.2xlarge",
+    ),
+    "S2 on r3.2xlarge": PipelineConfig(
+        assemblers=("ray", "abyss"), kmer_list=(35, 41),
+        scheme=MatchingScheme.S2, instance_type="r3.2xlarge",
+    ),
+}
+
+
+def main() -> None:
+    dataset = tiny_dataset(paired=False, seed=3)
+    print(f"{'configuration':20s} {'TTC (s)':>9s} {'cost $':>8s} "
+          f"{'transfer (s)':>13s}")
+    results = {}
+    for name, config in CONFIGS.items():
+        r = RnnotatorPipeline().run(dataset, config)
+        results[name] = r
+        print(
+            f"{name:20s} {r.total_ttc:9.0f} {r.total_cost:8.2f} "
+            f"{r.transfer_seconds:13.0f}"
+        )
+
+    s1 = results["S1 on c3.2xlarge"]
+    s2 = results["S2 on c3.2xlarge"]
+    r3 = results["S2 on r3.2xlarge"]
+    print(
+        f"\nS1 pays {s1.transfer_seconds - s2.transfer_seconds:.0f} s of "
+        "extra staging plus re-provisioning on every pilot boundary;\n"
+        "S2 reuses the same VMs for all three pilots (the paper's sample "
+        "run choice)."
+    )
+    print(
+        f"Memory-optimized r3.2xlarge costs "
+        f"{r3.total_cost / s2.total_cost:.1f}x more here — worth it only "
+        "when the data cannot fit c3.2xlarge (Table IV)."
+    )
+    # Functional results are identical regardless of the scheme.
+    assert [t.seq for t in s1.transcripts] == [t.seq for t in s2.transcripts]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Multi-Assembler Multi-Parameter (MAMP) ensemble assembly.
+
+The paper's Table V compares single assemblers against combinations
+("the latter approach ... is indeed the Multi-assembler Multi-parameter
+(MAMP) method").  This example runs Ray, ABySS and Contrail over two k
+values each on the same reads, merges every option with the
+Minimus2-style post-processing stage, and scores each option against the
+known ground truth — a miniature Table V.
+
+Run:  python examples/multi_assembler_ensemble.py
+"""
+
+from repro.assembly.base import AssemblyParams
+from repro.assembly.registry import get_assembler
+from repro.core.merge import merge_contigs
+from repro.core.preprocess import preprocess
+from repro.evaluation.detonate import evaluate
+from repro.seq.datasets import tiny_dataset
+
+KS = (31, 37)
+OPTIONS = {
+    "ray": ("ray",),
+    "abyss": ("abyss",),
+    "contrail": ("contrail",),
+    "ray+contrail": ("ray", "contrail"),
+    "ray+contrail+abyss": ("ray", "contrail", "abyss"),
+}
+
+
+def main() -> None:
+    dataset = tiny_dataset(paired=False, seed=7)
+    pre = preprocess(dataset.run.all_reads())
+    print(
+        f"pre-processing: {pre.input_reads} -> {pre.output_reads} reads "
+        f"(dedup {pre.dropped_duplicate}, N {pre.dropped_n})"
+    )
+
+    # One real assembly per (assembler, k).
+    assemblies = {}
+    for name in ("ray", "abyss", "contrail"):
+        for k in KS:
+            params = AssemblyParams(k=k, min_contig_length=100)
+            result = get_assembler(name).assemble(pre.reads, params, n_ranks=8)
+            assemblies[(name, k)] = result.contigs
+            print(f"  {name:9s} k={k}: {len(result.contigs)} contigs")
+
+    print(f"\n{'option':20s} {'contigs':>7s} {'P':>6s} {'R':>6s} "
+          f"{'F1':>6s} {'wkr':>6s} {'kc':>6s}")
+    for option, members in OPTIONS.items():
+        contig_sets = [assemblies[(m, k)] for m in members for k in KS]
+        merged = merge_contigs(contig_sets)
+        s = evaluate(merged.transcripts, dataset.transcriptome)
+        print(
+            f"{option:20s} {len(merged.transcripts):7d} {s.precision:6.2f} "
+            f"{s.recall:6.2f} {s.f1:6.2f} {s.weighted_kmer_recall:6.2f} "
+            f"{s.kc_score:6.2f}"
+        )
+
+    print(
+        "\nAs in the paper's Table V, the ensemble (MAMP) options land "
+        "near the single-assembler scores — the default Rnnotator merge "
+        "is tuned for multi-k merging, not cross-assembler validation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Shared assembler plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assembly.contigs import Contig
+from repro.assembly.dbg import Unitig
+from repro.seq.alphabet import reverse_complement
+from repro.seq.fastq import FastqRecord
+
+
+@dataclass(frozen=True)
+class AssemblyParams:
+    """Parameters common to every assembler."""
+
+    k: int
+    min_count: int = 2          # coverage threshold for solid k-mers
+    min_contig_length: int = 100
+    clip_tips: bool = True
+    pop_bubbles: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 3:
+            raise ValueError("k must be >= 3")
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if self.min_contig_length < self.k:
+            raise ValueError("min_contig_length must be >= k")
+
+
+def unitigs_to_contigs(
+    unitigs: list[Unitig],
+    params: AssemblyParams,
+    assembler: str,
+) -> list[Contig]:
+    """Filter unitigs by length and materialize Contig records.
+
+    Sequences are emitted in canonical strand orientation (lexicographic
+    minimum of the two strands) so output is independent of the seed
+    order the walk happened to use — serial and distributed assemblies of
+    the same spectrum produce byte-identical contigs.
+    """
+    oriented = [
+        (min(u.seq, reverse_complement(u.seq)), u)
+        for u in unitigs
+        if len(u) >= params.min_contig_length
+    ]
+    oriented.sort(key=lambda pair: (-len(pair[0]), pair[0]))
+    return [
+        Contig(
+            contig_id=f"{assembler}_k{params.k}_c{i:06d}",
+            seq=seq,
+            coverage=u.coverage,
+            k=params.k,
+            assembler=assembler,
+        )
+        for i, (seq, u) in enumerate(oriented)
+    ]
+
+
+def read_sequences(reads: list[FastqRecord]) -> list[str]:
+    return [r.seq for r in reads]

@@ -1,0 +1,79 @@
+"""Contig records, assembly results and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.usage import ResourceUsage
+from repro.seq import alphabet
+
+
+@dataclass(frozen=True)
+class Contig:
+    """One assembled contig."""
+
+    contig_id: str
+    seq: str
+    coverage: float
+    k: int
+    assembler: str
+
+    def __post_init__(self) -> None:
+        if not self.seq:
+            raise ValueError("empty contig sequence")
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    @property
+    def codes(self) -> np.ndarray:
+        return alphabet.encode(self.seq)
+
+
+@dataclass
+class AssemblyResult:
+    """Output of one assembler invocation: contigs + measured usage."""
+
+    assembler: str
+    k: int
+    contigs: list[Contig]
+    usage: ResourceUsage
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def total_bp(self) -> int:
+        return sum(len(c) for c in self.contigs)
+
+    def __len__(self) -> int:
+        return len(self.contigs)
+
+
+def n50(lengths: list[int]) -> int:
+    """N50 of a length distribution (0 for empty input)."""
+    if not lengths:
+        return 0
+    ordered = sorted(lengths, reverse=True)
+    half = sum(ordered) / 2.0
+    acc = 0
+    for L in ordered:
+        acc += L
+        if acc >= half:
+            return L
+    return ordered[-1]
+
+
+def assembly_stats(contigs: list[Contig]) -> dict:
+    """Summary statistics of a contig set."""
+    lengths = [len(c) for c in contigs]
+    return {
+        "n_contigs": len(contigs),
+        "total_bp": sum(lengths),
+        "n50": n50(lengths),
+        "max_len": max(lengths, default=0),
+        "mean_len": float(np.mean(lengths)) if lengths else 0.0,
+        "mean_coverage": (
+            float(np.mean([c.coverage for c in contigs])) if contigs else 0.0
+        ),
+    }

@@ -1,0 +1,194 @@
+"""De Bruijn graph construction and unitig extraction.
+
+The graph is implicit: a :class:`KmerTable` maps canonical k-mers to
+coverage counts, and adjacency is discovered by membership queries on the
+four possible single-base extensions — the classic hash-based DBG
+(Velvet/ABySS/Ray all work this way).
+
+Orientation handling: the table stores *canonical* k-mers, but walking
+operates on *oriented* k-mers (plain code-bytes); every membership test
+canonicalizes first.  A unitig is a maximal path along which every
+interior node has exactly one successor and one predecessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.assembly.kmers import canonical, revcomp_kmer
+from repro.seq import alphabet
+
+_BASES = (0, 1, 2, 3)
+
+#: Resident bytes per stored k-mer.  The real assemblers pack k-mers into
+#: 2-bit words with open-addressing tables (Ray ~14 B, ABySS ~16 B per
+#: k-mer); memory extrapolations to paper scale use this constant, not
+#: Python's dict overhead.
+KMER_RECORD_BYTES = 16
+
+
+@dataclass
+class KmerTable:
+    """Canonical k-mer -> coverage count."""
+
+    k: int
+    counts: dict[bytes, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, oriented: bytes) -> bool:
+        return canonical(oriented) in self.counts
+
+    def coverage(self, oriented: bytes) -> int:
+        return self.counts.get(canonical(oriented), 0)
+
+    def add_counts(self, other: dict[bytes, int]) -> None:
+        for kmer, c in other.items():
+            self.counts[kmer] = self.counts.get(kmer, 0) + c
+
+    def drop_below(self, min_count: int) -> int:
+        """Remove k-mers with coverage below ``min_count``; returns #removed."""
+        doomed = [k for k, c in self.counts.items() if c < min_count]
+        for k in doomed:
+            del self.counts[k]
+        return len(doomed)
+
+    def memory_bytes(self) -> int:
+        """Resident size a packed (real-tool) k-mer table would need."""
+        return len(self.counts) * KMER_RECORD_BYTES
+
+    # -- adjacency ---------------------------------------------------------
+
+    def successors(self, oriented: bytes) -> list[bytes]:
+        """Oriented k-mers reachable by appending one base."""
+        suffix = oriented[1:]
+        out = []
+        for b in _BASES:
+            nxt = suffix + bytes([b])
+            if canonical(nxt) in self.counts:
+                out.append(nxt)
+        return out
+
+    def predecessors(self, oriented: bytes) -> list[bytes]:
+        """Oriented k-mers reachable by prepending one base."""
+        prefix = oriented[:-1]
+        out = []
+        for b in _BASES:
+            prv = bytes([b]) + prefix
+            if canonical(prv) in self.counts:
+                out.append(prv)
+        return out
+
+
+def build_kmer_table(k: int, counts: dict[bytes, int]) -> KmerTable:
+    """Wrap a counts dict (keys must already be canonical)."""
+    return KmerTable(k=k, counts=dict(counts))
+
+
+@dataclass
+class Unitig:
+    """A maximal non-branching path: its sequence codes and coverage."""
+
+    codes: np.ndarray  # uint8, length >= k
+    coverage: float  # mean k-mer coverage
+    n_kmers: int
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def seq(self) -> str:
+        return alphabet.decode(self.codes)
+
+
+def _walk(
+    table: KmerTable,
+    start: bytes,
+    visited: set[bytes],
+) -> tuple[list[int], float, int]:
+    """Walk right then left from ``start``; returns (codes, cov, steps).
+
+    Marks every visited k-mer's canonical form in ``visited``.
+    """
+    k = table.k
+    chain = list(start)
+    cov_sum = table.coverage(start)
+    n = 1
+    visited.add(canonical(start))
+
+    # Extend right.
+    cur = start
+    while True:
+        nxts = table.successors(cur)
+        if len(nxts) != 1:
+            break
+        nxt = nxts[0]
+        if canonical(nxt) in visited:
+            break  # loop or palindromic re-entry
+        if len(table.predecessors(nxt)) != 1:
+            break  # converging branch
+        chain.append(nxt[-1])
+        visited.add(canonical(nxt))
+        cov_sum += table.coverage(nxt)
+        n += 1
+        cur = nxt
+
+    # Extend left (walk right from the reverse complement of the start).
+    cur = revcomp_kmer(start)
+    left: list[int] = []
+    while True:
+        nxts = table.successors(cur)
+        if len(nxts) != 1:
+            break
+        nxt = nxts[0]
+        if canonical(nxt) in visited:
+            break
+        if len(table.predecessors(nxt)) != 1:
+            break
+        left.append(nxt[-1])
+        visited.add(canonical(nxt))
+        cov_sum += table.coverage(nxt)
+        n += 1
+        cur = nxt
+
+    if left:
+        # ``left`` extends the revcomp strand rightward; flip it back.
+        left_codes = bytes(left)
+        prefix = revcomp_kmer(left_codes)
+        chain = list(prefix) + chain
+    return chain, cov_sum / n, n
+
+
+def extract_unitigs(
+    table: KmerTable,
+    seeds: Iterator[bytes] | None = None,
+    visited: set[bytes] | None = None,
+) -> tuple[list[Unitig], int]:
+    """Extract all unitigs; returns (unitigs, total_walk_steps).
+
+    ``seeds`` restricts the k-mers from which walks may start (used by the
+    distributed assemblers to attribute work to ranks); by default every
+    k-mer seeds.  ``visited`` may be shared across calls so that different
+    rank shards never emit the same unitig twice.
+    """
+    if visited is None:
+        visited = set()
+    if seeds is None:
+        seeds = iter(sorted(table.counts.keys()))
+
+    unitigs: list[Unitig] = []
+    steps = 0
+    for seed in seeds:
+        if seed in visited or seed not in table.counts:
+            continue
+        chain, cov, n = _walk(table, seed, visited)
+        steps += n
+        unitigs.append(
+            Unitig(codes=np.frombuffer(bytes(chain), dtype=np.uint8).copy(),
+                   coverage=cov, n_kmers=n)
+        )
+    return unitigs, steps

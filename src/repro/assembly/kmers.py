@@ -1,0 +1,142 @@
+"""Vectorized k-mer extraction, canonicalization and counting.
+
+K-mers are represented as ``bytes`` of base *codes* (one byte per base,
+values 0..3) — k up to 63 (the paper's P. crispa runs need k=63, past the
+2-bits-in-uint64 limit, so a packed-integer representation is not used).
+The canonical form of a k-mer is the lexicographic minimum of the k-mer
+and its reverse complement, computed on whole windows with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seq import alphabet
+from repro.seq.fastq import FastqRecord
+
+#: Multipliers for the vectorized partition hash (fixed odd constants so
+#: ownership is deterministic across processes and runs).
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def reads_to_code_matrix(reads: list[FastqRecord]) -> np.ndarray:
+    """Stack fixed-length reads into an ``(n_reads, L)`` uint8 code matrix.
+
+    Raises ValueError when read lengths differ (the pipeline's
+    pre-processing step produces variable-length reads; those go through
+    :func:`canonical_kmers_varlen` instead).
+    """
+    if not reads:
+        return np.zeros((0, 0), dtype=np.uint8)
+    L = len(reads[0])
+    joined = "".join(r.seq for r in reads)
+    if len(joined) != L * len(reads):
+        raise ValueError("reads are not fixed-length; use canonical_kmers_varlen")
+    return alphabet.encode(joined).reshape(len(reads), L)
+
+
+def _windows(codes: np.ndarray, k: int) -> np.ndarray:
+    """All length-k windows of each row: ``(n_windows, k)`` uint8."""
+    if codes.ndim == 1:
+        codes = codes[None, :]
+    n, L = codes.shape
+    if L < k:
+        return np.zeros((0, k), dtype=np.uint8)
+    win = np.lib.stride_tricks.sliding_window_view(codes, k, axis=1)
+    return win.reshape(-1, k)
+
+
+def _drop_n(windows: np.ndarray) -> np.ndarray:
+    """Remove windows containing uncalled bases."""
+    if windows.size == 0:
+        return windows
+    return windows[(windows < alphabet.N).all(axis=1)]
+
+
+def _canonicalize(windows: np.ndarray) -> np.ndarray:
+    """Row-wise min(window, revcomp(window)), vectorized."""
+    if windows.size == 0:
+        return windows
+    rc = (3 - windows)[:, ::-1]
+    neq = windows != rc
+    # Index of first differing column (0 when rows are equal — palindromes).
+    first = neq.argmax(axis=1)
+    rows = np.arange(windows.shape[0])
+    take_fwd = windows[rows, first] <= rc[rows, first]
+    return np.where(take_fwd[:, None], windows, rc)
+
+
+def canonical_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """Canonical k-mers of one or many sequences as ``(n, k)`` uint8 rows.
+
+    ``codes`` is a 1-D sequence or a 2-D matrix of fixed-length reads.
+    Windows containing N are dropped.
+    """
+    if k < 3:
+        raise ValueError("k must be >= 3")
+    return _canonicalize(_drop_n(_windows(np.asarray(codes, dtype=np.uint8), k)))
+
+
+def canonical_kmers_varlen(seqs: list[str], k: int) -> np.ndarray:
+    """Canonical k-mers of variable-length sequences."""
+    parts = [
+        canonical_kmers(alphabet.encode(s), k) for s in seqs if len(s) >= k
+    ]
+    if not parts:
+        return np.zeros((0, k), dtype=np.uint8)
+    return np.concatenate(parts, axis=0)
+
+
+def kmer_counts(kmer_rows: np.ndarray) -> dict[bytes, int]:
+    """Count k-mer rows into a ``bytes -> count`` dict."""
+    if kmer_rows.size == 0:
+        return {}
+    uniq, counts = np.unique(kmer_rows, axis=0, return_counts=True)
+    raw = np.ascontiguousarray(uniq).tobytes()
+    k = uniq.shape[1]
+    return {
+        raw[i * k : (i + 1) * k]: int(c) for i, c in enumerate(counts)
+    }
+
+
+def kmer_owner(kmer_rows: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Deterministic owner rank of each k-mer row (hash partition).
+
+    The hash folds the k-mer bytes column-wise with position-dependent
+    odd multipliers; uniform enough for load balance, stable across runs.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if kmer_rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    k = kmer_rows.shape[1]
+    with np.errstate(over="ignore"):
+        weights = np.cumprod(np.full(k, _HASH_MULTIPLIER, dtype=np.uint64))
+        h = ((kmer_rows.astype(np.uint64) + np.uint64(1)) * weights[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+        h ^= h >> np.uint64(33)
+        h *= _HASH_MULTIPLIER
+        h ^= h >> np.uint64(29)
+    return (h % np.uint64(n_ranks)).astype(np.int64)
+
+
+def owner_of(kmer: bytes, n_ranks: int) -> int:
+    """Owner rank of a single k-mer (matches :func:`kmer_owner`)."""
+    row = np.frombuffer(kmer, dtype=np.uint8)[None, :]
+    return int(kmer_owner(row, n_ranks)[0])
+
+
+def kmer_to_codes(kmer: bytes) -> np.ndarray:
+    return np.frombuffer(kmer, dtype=np.uint8)
+
+
+def revcomp_kmer(kmer: bytes) -> bytes:
+    codes = np.frombuffer(kmer, dtype=np.uint8)
+    return bytes((3 - codes)[::-1])
+
+
+def canonical(kmer: bytes) -> bytes:
+    """Canonical form of a single code-bytes k-mer."""
+    rc = revcomp_kmer(kmer)
+    return kmer if kmer <= rc else rc

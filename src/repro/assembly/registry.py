@@ -1,0 +1,110 @@
+"""Assembler registry — the paper's Table I plus the single-node options.
+
+Maps assembler names to constructors and carries the metadata the paper
+tabulates (graph type, distributed implementation, the version of the real
+tool each one stands in for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class AssemblerInfo:
+    """Metadata for one integrated assembler (Table I row)."""
+
+    name: str
+    graph_type: str  # "DBG"
+    distributed_impl: str  # "MPI" | "Hadoop MapReduce" | "none"
+    analog_of_version: str
+    scalable: bool  # can run on multi-node shared-nothing systems
+    factory: Callable[[], object]
+
+
+def _velvet():
+    from repro.assembly.velvet import VelvetAssembler
+
+    return VelvetAssembler()
+
+
+def _ray():
+    from repro.assembly.ray import RayAssembler
+
+    return RayAssembler()
+
+
+def _abyss():
+    from repro.assembly.abyss import AbyssAssembler
+
+    return AbyssAssembler()
+
+
+def _contrail():
+    from repro.assembly.contrail import ContrailAssembler
+
+    return ContrailAssembler()
+
+
+def _trinity():
+    from repro.assembly.trinity import TrinityAssembler
+
+    return TrinityAssembler()
+
+
+ASSEMBLERS: dict[str, AssemblerInfo] = {
+    "ray": AssemblerInfo(
+        name="ray",
+        graph_type="DBG",
+        distributed_impl="MPI",
+        analog_of_version="Ray 2.3.1",
+        scalable=True,
+        factory=_ray,
+    ),
+    "abyss": AssemblerInfo(
+        name="abyss",
+        graph_type="DBG",
+        distributed_impl="MPI",
+        analog_of_version="ABySS 1.9.0",
+        scalable=True,
+        factory=_abyss,
+    ),
+    "contrail": AssemblerInfo(
+        name="contrail",
+        graph_type="DBG",
+        distributed_impl="Hadoop MapReduce",
+        analog_of_version="Contrail 0.8.2",
+        scalable=True,
+        factory=_contrail,
+    ),
+    "velvet": AssemblerInfo(
+        name="velvet",
+        graph_type="DBG",
+        distributed_impl="none",
+        analog_of_version="Velvet 1.2",
+        scalable=False,
+        factory=_velvet,
+    ),
+    "trinity": AssemblerInfo(
+        name="trinity",
+        graph_type="DBG",
+        distributed_impl="none",
+        analog_of_version="Trinity 2.1.1",
+        scalable=False,
+        factory=_trinity,
+    ),
+}
+
+#: The three multi-node assemblers benchmarked in the paper (Table I).
+TABLE1_ASSEMBLERS = ("ray", "abyss", "contrail")
+
+
+def get_assembler(name: str):
+    """Instantiate an assembler by registry name."""
+    try:
+        return ASSEMBLERS[name].factory()
+    except KeyError:
+        raise KeyError(
+            f"unknown assembler {name!r}; available: {sorted(ASSEMBLERS)}"
+        ) from None

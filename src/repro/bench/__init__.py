@@ -1,0 +1,21 @@
+"""Experiment harness: calibrated cost model, shared bench data sets and
+table/figure formatting for the paper-reproduction benchmarks."""
+
+from repro.bench.calibration import TABLE3_TARGETS, calibrated_cost_model
+from repro.bench.harness import (
+    bench_dataset,
+    format_figure,
+    format_table,
+    machine_for,
+    price_assembly,
+)
+
+__all__ = [
+    "TABLE3_TARGETS",
+    "calibrated_cost_model",
+    "bench_dataset",
+    "machine_for",
+    "price_assembly",
+    "format_table",
+    "format_figure",
+]

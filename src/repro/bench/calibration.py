@@ -1,0 +1,148 @@
+"""Cost-model calibration against the paper's Table III anchors.
+
+Table III measures the three assemblers on the B. glumae data (k=47, two
+c3.2xlarge nodes):
+
+=========  ==========
+Assembler  TTC (sec)
+=========  ==========
+Ray          1,721
+ABySS          882
+Contrail     6,720
+=========  ==========
+
+Calibration runs the *real* bench-scale assemblies once, extrapolates the
+measured usage to paper scale, and solves for three constants:
+
+1. the two MPI anchors (ABySS, Ray) form a 2x2 linear system in the joint
+   DBG work-rate factor and the MPI message latency — the assemblers
+   share rates and latency but differ in probe-message aggregation;
+2. the MapReduce record rate follows from the Contrail anchor, given a
+   fixed per-job Hadoop startup overhead.
+
+Everything else in the reproduction (Fig. 3/4 scale-out shapes, Table IV,
+Fig. 5 stage times and cost) is then a *prediction* of the calibrated
+model, not a fit.  The stage rates (``preprocess``/``merge``/``quantify``)
+are set once from the §IV.C sample-run stage times and documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import replace
+
+import numpy as np
+
+from repro.bench import harness
+from repro.core.scaling import paper_usage
+from repro.parallel.costmodel import CostModel, MachineConfig
+
+#: Paper Table III anchors (seconds).
+TABLE3_TARGETS = {"ray": 1721.0, "abyss": 882.0, "contrail": 6720.0}
+
+#: Table III machine: two c3.2xlarge nodes.
+ANCHOR_INSTANCE = "c3.2xlarge"
+ANCHOR_NODES = 2
+ANCHOR_K = 47
+ANCHOR_DATASET = "B_glumae"
+
+#: Fixed Hadoop job startup/teardown overhead (seconds).  Hadoop 1.x-era
+#: job latency on small clusters was tens of seconds; 45 s splits the
+#: Contrail anchor between overhead floor and record processing.
+MR_JOB_OVERHEAD = 45.0
+
+#: Stage rates from the §IV.C sample run (4.4 GB paired input):
+#: pre-processing 44 min, post-processing 41 min on one 8-core VM.
+PREPROCESS_RATE = 1.0e5   # bases/s per core (Perl + disk passes)
+MERGE_RATE = 1.0e6        # merge ops/s per core
+QUANTIFY_RATE = 3.0e4     # pseudoalignment ops/s per core
+
+
+def _anchor_usage(assembler: str):
+    ds = harness.bench_dataset(ANCHOR_DATASET)
+    result = harness.run_assembly(
+        ANCHOR_DATASET,
+        assembler,
+        ANCHOR_K,
+        n_ranks=ANCHOR_NODES * 8,
+    )
+    return paper_usage(result.usage, ds)
+
+
+def _priced_parts(cm: CostModel, usage, machine: MachineConfig):
+    """(rate-scaled compute seconds, fixed seconds) decomposition."""
+    zero_rates = {k: float("inf") for k in cm.rates}
+    fixed = replace(cm, rates={**cm.rates, **zero_rates}).task_seconds(
+        usage, machine
+    )
+    total = cm.task_seconds(usage, machine)
+    return total - fixed, fixed
+
+
+@functools.lru_cache(maxsize=1)
+def calibrated_cost_model() -> CostModel:
+    """The cost model used by every benchmark (memoized)."""
+    machine = harness.machine_for(ANCHOR_INSTANCE, ANCHOR_NODES)
+    base = CostModel(
+        mr_job_overhead=MR_JOB_OVERHEAD,
+        message_latency=0.0,
+    )
+
+    # --- 1+2. joint solve: DBG rate factor and message latency -------------
+    # Both MPI assemblers share the DBG work rates and the MPI message
+    # latency; ABySS aggregates probes (~2 messages/step) while Ray sends
+    # fine-grained ones (~8/step).  The two Table III anchors give a 2x2
+    # linear system in (1/rate_factor, message_latency):
+    #     C_a * x + M_a * lam = target_a - F_a
+    #     C_r * x + M_r * lam = target_r - F_r
+    abyss = _anchor_usage("abyss")
+    ray = _anchor_usage("ray")
+    C_a, F_a = _priced_parts(base, abyss, machine)
+    C_r, F_r = _priced_parts(base, ray, machine)
+    A = np.array(
+        [[C_a, float(abyss.n_messages)], [C_r, float(ray.n_messages)]]
+    )
+    b = np.array(
+        [TABLE3_TARGETS["abyss"] - F_a, TABLE3_TARGETS["ray"] - F_r]
+    )
+    x, lam = np.linalg.solve(A, b)
+    if x <= 0 or lam <= 0:
+        raise RuntimeError(
+            f"MPI anchors unsatisfiable: rate scale {x:.3g}, latency {lam:.3g}"
+        )
+    cm = base.with_rates(
+        **{kind: base.rate(kind) / x for kind in ("kmer", "graph", "walk")}
+    )
+    cm = replace(cm, message_latency=float(lam))
+
+    # --- 3. MapReduce rate from the Contrail anchor ------------------------
+    contrail = _anchor_usage("contrail")
+    # decompose: total = mr_compute/rate + fixed (job overheads + shuffle)
+    mr_compute_s, fixed_contrail = _priced_parts(cm, contrail, machine)
+    target_c = TABLE3_TARGETS["contrail"]
+    if target_c <= fixed_contrail:
+        raise RuntimeError(
+            f"Contrail fixed costs ({fixed_contrail:.0f}s) exceed the anchor"
+        )
+    mr_factor = mr_compute_s / (target_c - fixed_contrail)
+    cm = cm.with_rates(mr_job=cm.rate("mr_job") * mr_factor)
+
+    # --- 4. stage rates (sample-run anchors, see module docstring) ---------
+    cm = cm.with_rates(
+        preprocess=PREPROCESS_RATE,
+        merge=MERGE_RATE,
+        quantify=QUANTIFY_RATE,
+    )
+    return cm
+
+
+def anchor_report() -> list[tuple[str, float, float]]:
+    """(assembler, paper target, calibrated model prediction) rows."""
+    cm = calibrated_cost_model()
+    machine = harness.machine_for(ANCHOR_INSTANCE, ANCHOR_NODES)
+    rows = []
+    for name, target in TABLE3_TARGETS.items():
+        usage = _anchor_usage(name)
+        rows.append((name, target, cm.task_seconds(usage, machine)))
+    return rows

@@ -1,0 +1,40 @@
+"""Discrete-event IaaS cloud simulation.
+
+Models the parts of Amazon EC2 the paper's experiments depend on:
+
+* an instance-type catalog with the two types the paper uses
+  (c3.2xlarge, r3.2xlarge) and their 2016 prices (:mod:`instances`),
+* VM lifecycle with provisioning delays and memory capacity
+  (:mod:`vm`), region-level run/terminate APIs (:mod:`ec2`),
+* per-hour billing (:mod:`billing`),
+* a StarCluster-style cluster builder with an SGE-like batch scheduler
+  (:mod:`cluster`, :mod:`sge`),
+* a virtual clock + event queue driving all of it (:mod:`clock`), and
+* a staging/transfer model for moving data in and out (:mod:`storage`).
+"""
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.clock import EventQueue, SimClock
+from repro.cloud.cluster import Cluster, build_cluster
+from repro.cloud.ec2 import EC2Region
+from repro.cloud.instances import INSTANCE_TYPES, InstanceType, get_instance_type
+from repro.cloud.sge import SGEJob, SGEScheduler
+from repro.cloud.storage import TransferModel
+from repro.cloud.vm import VM, VMState
+
+__all__ = [
+    "SimClock",
+    "EventQueue",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "get_instance_type",
+    "VM",
+    "VMState",
+    "EC2Region",
+    "BillingLedger",
+    "Cluster",
+    "build_cluster",
+    "SGEScheduler",
+    "SGEJob",
+    "TransferModel",
+]

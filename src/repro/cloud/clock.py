@@ -1,0 +1,95 @@
+"""Virtual time: a monotonic clock plus a discrete-event queue.
+
+Every TTC and cost figure in the reproduction is measured on this clock.
+The event queue is a plain heap keyed by (time, sequence) so simultaneous
+events fire in submission order — enough for the pipeline's needs and
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class ClockError(RuntimeError):
+    """Illegal clock manipulation (e.g. moving time backwards)."""
+
+
+class SimClock:
+    """A monotonic virtual clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ClockError(f"cannot advance by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump forward to absolute time ``t`` (must not be in the past)."""
+        if t < self._now - 1e-9:
+            raise ClockError(f"cannot move clock backwards to {t} < {self._now}")
+        self._now = max(self._now, t)
+        return self._now
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """A discrete-event loop bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule_at(self, t: float, action: Callable[[], Any], tag: str = "") -> None:
+        """Schedule ``action`` at absolute time ``t``."""
+        if t < self.clock.now - 1e-9:
+            raise ClockError(f"cannot schedule in the past ({t} < {self.clock.now})")
+        heapq.heappush(self._heap, _Event(t, next(self._seq), action, tag))
+
+    def schedule_in(self, dt: float, action: Callable[[], Any], tag: str = "") -> None:
+        """Schedule ``action`` ``dt`` seconds from now."""
+        if dt < 0:
+            raise ClockError(f"negative delay {dt}")
+        self.schedule_at(self.clock.now + dt, action, tag)
+
+    def step(self) -> bool:
+        """Fire the next event (advancing the clock); False when empty."""
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self.clock.advance_to(ev.time)
+        ev.action()
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Drain the queue, optionally stopping once ``until`` is reached."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.clock.advance_to(until)
+                return
+            self.step()
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None

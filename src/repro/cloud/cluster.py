@@ -1,0 +1,131 @@
+"""StarCluster analog: turn a set of VMs into an SGE cluster.
+
+The paper builds its EC2 clusters with a customized StarCluster script
+(§IV.A.ii): one head node plus workers, a shared filesystem, and SGE
+configured with one slot per core.  ``build_cluster`` reproduces that
+step including its setup delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.clock import EventQueue
+from repro.cloud.ec2 import EC2Region
+from repro.cloud.instances import InstanceType
+from repro.cloud.sge import SGEScheduler
+from repro.cloud.vm import VM, VMState
+from repro.parallel.costmodel import MachineConfig
+
+#: StarCluster configuration time (NFS export, SGE install, host keys).
+DEFAULT_SETUP_SECONDS = 120.0
+
+
+class ClusterError(RuntimeError):
+    pass
+
+
+@dataclass
+class Cluster:
+    """A running SGE cluster over a homogeneous set of VMs."""
+
+    name: str
+    vms: list[VM]
+    scheduler: SGEScheduler
+    events: EventQueue
+
+    def __post_init__(self) -> None:
+        if not self.vms:
+            raise ClusterError("cluster needs at least one VM")
+        itypes = {vm.itype.name for vm in self.vms}
+        if len(itypes) > 1:
+            raise ClusterError(
+                f"StarCluster-style clusters are homogeneous; got {itypes}"
+            )
+
+    @property
+    def head(self) -> VM:
+        return self.vms[0]
+
+    @property
+    def itype(self) -> InstanceType:
+        return self.head.itype
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.vms)
+
+    @property
+    def total_slots(self) -> int:
+        return self.scheduler.total_slots
+
+    def machine_config(self, n_nodes: int | None = None) -> MachineConfig:
+        """Cost-model view of (a subset of) this cluster."""
+        n = n_nodes if n_nodes is not None else self.n_nodes
+        if not 1 <= n <= self.n_nodes:
+            raise ClusterError(f"invalid node count {n}")
+        return MachineConfig(
+            n_nodes=n,
+            cores_per_node=self.itype.vcpus,
+            compute_factor=self.itype.compute_factor,
+            network_bandwidth=self.itype.network_bandwidth,
+        )
+
+    def grow(self, region: EC2Region, count: int) -> list[VM]:
+        """Add worker nodes (used by the S2 scheme when a later pilot
+        needs a bigger cluster than the current one)."""
+        new = region.run_instances(self.itype, count)
+        for vm in new:
+            self.vms.append(vm)
+            self.scheduler.slots_total[vm.vm_id] = vm.itype.vcpus
+            self.scheduler.slots_free[vm.vm_id] = vm.itype.vcpus
+        self.scheduler._try_schedule()
+        return new
+
+    def shrink_to(self, region: EC2Region, keep: int) -> list[VM]:
+        """Terminate all but the first ``keep`` nodes (idle ones only)."""
+        if keep < 1:
+            raise ClusterError("must keep at least the head node")
+        doomed = self.vms[keep:]
+        busy = [
+            vm.vm_id
+            for vm in doomed
+            if self.scheduler.slots_free.get(vm.vm_id)
+            != self.scheduler.slots_total.get(vm.vm_id)
+        ]
+        if busy:
+            raise ClusterError(f"cannot shrink: nodes busy {busy}")
+        for vm in doomed:
+            self.scheduler.slots_total.pop(vm.vm_id, None)
+            self.scheduler.slots_free.pop(vm.vm_id, None)
+            region.terminate(vm)
+        self.vms = self.vms[:keep]
+        return doomed
+
+
+def build_cluster(
+    region: EC2Region,
+    events: EventQueue,
+    itype: InstanceType | str,
+    n_nodes: int,
+    name: str = "starcluster",
+    setup_seconds: float = DEFAULT_SETUP_SECONDS,
+) -> Cluster:
+    """Launch VMs and configure them as an SGE cluster (StarCluster)."""
+    if n_nodes < 1:
+        raise ClusterError("n_nodes must be >= 1")
+    vms = region.run_instances(itype, n_nodes)
+    region.clock.advance(setup_seconds)
+    scheduler = SGEScheduler(events, {vm.vm_id: vm.itype.vcpus for vm in vms})
+    return Cluster(name=name, vms=vms, scheduler=scheduler, events=events)
+
+
+def cluster_from_vms(
+    vms: list[VM], events: EventQueue, name: str = "cluster"
+) -> Cluster:
+    """Wrap already-running VMs as a cluster (the S2 reuse path)."""
+    for vm in vms:
+        if vm.state is not VMState.RUNNING:
+            raise ClusterError(f"{vm.vm_id} is not running")
+    scheduler = SGEScheduler(events, {vm.vm_id: vm.itype.vcpus for vm in vms})
+    return Cluster(name=name, vms=vms, scheduler=scheduler, events=events)

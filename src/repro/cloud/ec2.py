@@ -1,0 +1,79 @@
+"""Region-level EC2-style API: run, track and terminate instances.
+
+On-demand semantics per the paper's §IV.C: the *user* (here, the pilot
+layer's S1/S2 matching schemes) decides when VMs start and stop, pays the
+provisioning delay on every launch, and is billed whole instance-hours on
+termination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.clock import SimClock
+from repro.cloud.instances import InstanceType, get_instance_type
+from repro.cloud.vm import VM, VMError, VMState
+
+#: Time from RunInstances to a usable node (boot + contextualization).
+DEFAULT_PROVISION_SECONDS = 90.0
+
+
+@dataclass
+class EC2Region:
+    """A simulated region bound to a virtual clock."""
+
+    clock: SimClock
+    provision_seconds: float = DEFAULT_PROVISION_SECONDS
+    ledger: BillingLedger = field(default_factory=BillingLedger)
+    vms: dict[str, VM] = field(default_factory=dict)
+    _ids: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def run_instances(
+        self, itype: InstanceType | str, count: int = 1
+    ) -> list[VM]:
+        """Launch ``count`` VMs; the clock advances past provisioning.
+
+        Returns RUNNING VMs (the paper's pipeline always blocks on
+        readiness before submitting work; fleets provision in parallel so
+        one delay covers the whole batch).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if isinstance(itype, str):
+            itype = get_instance_type(itype)
+        launched_at = self.clock.now
+        batch = []
+        for _ in range(count):
+            vm = VM(
+                vm_id=f"i-{next(self._ids):06d}",
+                itype=itype,
+                launched_at=launched_at,
+            )
+            self.vms[vm.vm_id] = vm
+            batch.append(vm)
+        self.clock.advance(self.provision_seconds)
+        for vm in batch:
+            vm.mark_running(self.clock.now)
+        return batch
+
+    def terminate(self, vm: VM) -> None:
+        """Terminate and bill one VM."""
+        if vm.vm_id not in self.vms:
+            raise VMError(f"unknown VM {vm.vm_id}")
+        vm.mark_terminated(self.clock.now)
+        self.ledger.charge_vm(vm, self.clock.now)
+
+    def terminate_all(self, vms: list[VM] | None = None) -> None:
+        targets = vms if vms is not None else list(self.vms.values())
+        for vm in targets:
+            if vm.state is not VMState.TERMINATED:
+                self.terminate(vm)
+
+    def running(self) -> list[VM]:
+        return [v for v in self.vms.values() if v.state is VMState.RUNNING]
+
+    @property
+    def total_cost(self) -> float:
+        return self.ledger.total_cost

@@ -1,0 +1,80 @@
+"""EC2 instance-type catalog.
+
+The two types the paper uses (section III.B) with their 2016 on-demand
+prices, plus a few neighbours so scheduling policies have real choices:
+
+* **c3.2xlarge** — 8 vCPU, 15 GiB (the paper rounds to 16 GB), $0.42/h
+* **r3.2xlarge** — 8 vCPU, 61 GiB, $0.70/h
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type."""
+
+    name: str
+    vcpus: int
+    memory_bytes: int
+    price_per_hour: float  # USD
+    compute_factor: float = 1.0       # per-core speed vs reference
+    network_bandwidth: float = 125e6  # bytes/s ("High" ~ 1 Gb/s)
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.memory_bytes <= 0 or self.price_per_hour < 0:
+            raise ValueError(f"invalid instance type {self.name}")
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / GiB
+
+
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        # The paper's two benchmark types (Table III/IV; prices from §III.B).
+        InstanceType("c3.2xlarge", 8, 16 * GiB, 0.42, compute_factor=1.0),
+        InstanceType("r3.2xlarge", 8, 61 * GiB, 0.70, compute_factor=1.0),
+        # Neighbours for scheduler choice / dynamic workflow experiments.
+        InstanceType("c3.xlarge", 4, 8 * GiB, 0.21, compute_factor=1.0),
+        InstanceType("c3.4xlarge", 16, 32 * GiB, 0.84, compute_factor=1.0),
+        InstanceType("r3.xlarge", 4, 30 * GiB, 0.35, compute_factor=1.0),
+        InstanceType("r3.4xlarge", 16, 122 * GiB, 1.40, compute_factor=1.0),
+        InstanceType("m3.2xlarge", 8, 30 * GiB, 0.53, compute_factor=0.9),
+    ]
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name."""
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance type {name!r}; available: {sorted(INSTANCE_TYPES)}"
+        ) from None
+
+
+def cheapest_with_memory(min_memory_bytes: int, min_vcpus: int = 1) -> InstanceType:
+    """Cheapest catalog type satisfying memory and vCPU floors.
+
+    This is the decision the dynamic workflow makes when the
+    pre-processing memory estimate is known (§IV.C: c3.2xlarge is fine
+    for B. glumae but P. crispa needs r3.2xlarge).
+    """
+    candidates = [
+        t
+        for t in INSTANCE_TYPES.values()
+        if t.memory_bytes >= min_memory_bytes and t.vcpus >= min_vcpus
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no instance type with >= {min_memory_bytes / GiB:.0f} GiB "
+            f"and >= {min_vcpus} vCPUs"
+        )
+    return min(candidates, key=lambda t: (t.price_per_hour, -t.memory_bytes))

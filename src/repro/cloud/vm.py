@@ -1,0 +1,83 @@
+"""Virtual machine lifecycle and memory accounting."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cloud.instances import InstanceType
+
+
+class VMState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+class VMError(RuntimeError):
+    """Illegal VM operation (double terminate, using a dead VM, ...)."""
+
+
+class OutOfMemoryError(RuntimeError):
+    """A task's footprint exceeded the VM's memory — the single-node
+    failure mode the paper's Table IV documents."""
+
+
+@dataclass
+class VM:
+    """One virtual machine instance."""
+
+    vm_id: str
+    itype: InstanceType
+    launched_at: float
+    state: VMState = VMState.PENDING
+    running_at: float | None = None
+    terminated_at: float | None = None
+    _reserved_bytes: int = field(default=0, repr=False)
+
+    def mark_running(self, now: float) -> None:
+        if self.state is not VMState.PENDING:
+            raise VMError(f"{self.vm_id}: cannot start from {self.state}")
+        self.state = VMState.RUNNING
+        self.running_at = now
+
+    def mark_terminated(self, now: float) -> None:
+        if self.state is VMState.TERMINATED:
+            raise VMError(f"{self.vm_id}: already terminated")
+        self.state = VMState.TERMINATED
+        self.terminated_at = now
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def memory_free(self) -> int:
+        return self.itype.memory_bytes - self._reserved_bytes
+
+    def reserve_memory(self, n_bytes: int) -> None:
+        """Claim ``n_bytes``; raises :class:`OutOfMemoryError` on overflow."""
+        if self.state is not VMState.RUNNING:
+            raise VMError(f"{self.vm_id}: not running")
+        if n_bytes < 0:
+            raise ValueError("cannot reserve negative memory")
+        if n_bytes > self.memory_free:
+            raise OutOfMemoryError(
+                f"{self.vm_id} ({self.itype.name}): task needs "
+                f"{n_bytes / 1024**3:.1f} GiB but only "
+                f"{self.memory_free / 1024**3:.1f} GiB free"
+            )
+        self._reserved_bytes += n_bytes
+
+    def release_memory(self, n_bytes: int) -> None:
+        if n_bytes < 0 or n_bytes > self._reserved_bytes:
+            raise ValueError("releasing memory that was not reserved")
+        self._reserved_bytes -= n_bytes
+
+    # -- billing helpers --------------------------------------------------------
+
+    def billable_seconds(self, now: float) -> float:
+        """Seconds from launch until termination (or ``now`` if running).
+
+        EC2 bills from launch request, including the provisioning window.
+        """
+        end = self.terminated_at if self.terminated_at is not None else now
+        return max(0.0, end - self.launched_at)

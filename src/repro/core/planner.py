@@ -1,0 +1,111 @@
+"""Dynamic planning: turn pre-processing output into pilot sizing.
+
+Two decisions the paper highlights (§III.E, §IV.C):
+
+* the **k-mer list** depends on the post-trim read length and is unknown
+  until pre-processing finishes — B. glumae (50 bp) gets
+  k = 35..47 step 2, P. crispa (100 bp) gets k = 51..63 step 4;
+* the **pilot P_B fleet size** follows from the job mix: one node per MPI
+  k-mer job (the paper's benchmarks show no significant gain beyond one
+  node per MPI job) plus a 16-node block per Contrail job (what it takes
+  Contrail to match MPI TTCs), all bounded by budget, with MPI jobs
+  widened when a single node cannot hold the k-mer table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.instances import InstanceType, get_instance_type
+from repro.core.memory import task_memory_bytes
+from repro.seq.datasets import DatasetSpec
+
+
+def select_kmer_list(read_length: int) -> tuple[int, ...]:
+    """The data-dependent k-mer list (reproduces Table II's two lists).
+
+    Short-read data (<= 60 bp) sweeps odd k from 35 up to ~95% of the
+    read length in steps of 2; longer reads use a sparser sweep, 51..63
+    step 4 (denser sampling there adds cost without assembly benefit).
+    """
+    if read_length < 38:
+        raise ValueError(f"reads of length {read_length} are too short to assemble")
+    if read_length <= 60:
+        k_max = min(47, read_length)
+        if k_max % 2 == 0:
+            k_max -= 1
+        return tuple(range(35, k_max + 1, 2))
+    return tuple(range(51, 64, 4))
+
+
+@dataclass(frozen=True)
+class AssemblyPlan:
+    """Sizing of the assembly stage (pilot P_B)."""
+
+    kmer_list: tuple[int, ...]
+    assemblers: tuple[str, ...]
+    mpi_nodes_per_job: int
+    contrail_nodes_per_job: int
+    n_nodes: int
+    instance_type: str
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.kmer_list) * len(self.assemblers)
+
+    def jobs(self) -> list[tuple[str, int, int]]:
+        """(assembler, k, nodes) for every assembly job."""
+        out = []
+        for a in self.assemblers:
+            nodes = (
+                self.contrail_nodes_per_job
+                if a == "contrail"
+                else self.mpi_nodes_per_job
+            )
+            for k in self.kmer_list:
+                out.append((a, k, min(nodes, self.n_nodes)))
+        return out
+
+
+def plan_assembly(
+    spec: DatasetSpec,
+    kmer_list: tuple[int, ...],
+    assemblers: tuple[str, ...],
+    instance_type: str,
+    mpi_nodes_per_job: int = 1,
+    contrail_nodes_per_job: int = 16,
+    max_nodes: int = 64,
+) -> AssemblyPlan:
+    """Size pilot P_B for the given job mix.
+
+    MPI jobs are widened beyond ``mpi_nodes_per_job`` when the per-node
+    k-mer table would not fit the instance memory (aggregate distributed
+    memory is the whole point of the MPI assemblers).
+    """
+    if not kmer_list or not assemblers:
+        raise ValueError("need at least one k and one assembler")
+    itype = get_instance_type(instance_type)
+
+    # Widen MPI jobs until the assembly footprint fits per node.
+    need = mpi_nodes_per_job
+    while (
+        task_memory_bytes(spec, "assembly", n_nodes=need) > itype.memory_bytes
+        and need < max_nodes
+    ):
+        need += 1
+    mpi_nodes = need
+
+    n_mpi_jobs = len(kmer_list) * sum(1 for a in assemblers if a != "contrail")
+    n_contrail_jobs = len(kmer_list) * sum(1 for a in assemblers if a == "contrail")
+    wanted = n_mpi_jobs * mpi_nodes + n_contrail_jobs * contrail_nodes_per_job
+    n_nodes = max(mpi_nodes, min(wanted, max_nodes))
+
+    return AssemblyPlan(
+        kmer_list=tuple(kmer_list),
+        assemblers=tuple(assemblers),
+        mpi_nodes_per_job=mpi_nodes,
+        contrail_nodes_per_job=min(contrail_nodes_per_job, n_nodes),
+        n_nodes=n_nodes,
+        instance_type=instance_type,
+    )

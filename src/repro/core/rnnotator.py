@@ -1,0 +1,395 @@
+"""The end-to-end pilot-based Rnnotator pipeline.
+
+``RnnotatorPipeline.run`` executes the full workflow of the paper on the
+simulated cloud: data staging, pilot P_A (pre-processing), pilot P_B
+(multi-k multi-assembler transcript assembly), pilot P_C
+(post-processing + quantification) — under either pilot-VM matching
+scheme (S1/S2) and any of the three workflow patterns, reporting
+per-stage TTC and the run's dollar cost exactly like §IV.C's sample run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.assembly.contigs import AssemblyResult, Contig
+from repro.cloud.clock import EventQueue, SimClock
+from repro.cloud.cluster import Cluster, build_cluster
+from repro.cloud.ec2 import EC2Region
+from repro.cloud.instances import cheapest_with_memory, get_instance_type
+from repro.cloud.storage import TransferModel
+from repro.core import multikmer
+from repro.core.memory import task_memory_bytes
+from repro.core.planner import AssemblyPlan, plan_assembly, select_kmer_list
+from repro.core.preprocess import PreprocessParams, PreprocessResult, preprocess
+from repro.core.merge import MergeResult, merge_contigs
+from repro.core.quantify import QuantificationResult, quantify
+from repro.core.schemes import MatchingScheme
+from repro.core.workflow import StageReport, WorkflowPattern
+from repro.parallel.costmodel import CostModel
+from repro.pilot.db import StateStore
+from repro.pilot.description import PilotDescription, UnitDescription
+from repro.pilot.manager import PilotManager, UnitManager
+from repro.pilot.scheduler import MemoryAwareScheduler, SchedulingError
+from repro.pilot.states import UnitState
+from repro.seq.datasets import Dataset
+
+
+class PipelineError(RuntimeError):
+    """A stage failed terminally (e.g. OOM under a static workflow)."""
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of one pipeline run."""
+
+    assemblers: tuple[str, ...] = ("ray",)
+    scheme: MatchingScheme = MatchingScheme.S2
+    workflow: WorkflowPattern = WorkflowPattern.DISTRIBUTED_DYNAMIC
+    instance_type: str | None = None  # None -> planner chooses (dynamic)
+    mpi_nodes_per_job: int = 1
+    contrail_nodes_per_job: int = 16
+    max_nodes: int = 64
+    min_count: int = 2
+    min_contig_length: int = 100
+    kmer_list: tuple[int, ...] | None = None  # None -> data-dependent
+    preprocess_params: PreprocessParams = field(default_factory=PreprocessParams)
+
+    def __post_init__(self) -> None:
+        if not self.assemblers:
+            raise ValueError("need at least one assembler")
+        if self.workflow is WorkflowPattern.CONVENTIONAL and (
+            self.scheme is not MatchingScheme.S2
+        ):
+            raise ValueError("the conventional pattern implies VM reuse (S2)")
+
+
+@dataclass
+class PipelineResult:
+    """Everything a run produced, plus its timing and cost."""
+
+    config: PipelineConfig
+    stages: list[StageReport]
+    preprocess: PreprocessResult
+    kmer_list: tuple[int, ...]
+    plan: AssemblyPlan
+    assemblies: dict[tuple[str, int], AssemblyResult]
+    merge: MergeResult
+    quantification: QuantificationResult
+    total_ttc: float
+    total_cost: float
+    transfer_seconds: float
+
+    @property
+    def transcripts(self) -> list[Contig]:
+        return self.merge.transcripts
+
+    def stage_ttc(self, name: str) -> float:
+        for s in self.stages:
+            if s.name == name:
+                return s.ttc
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline: {'+'.join(self.config.assemblers)} | "
+            f"scheme={self.config.scheme.value} "
+            f"workflow={self.config.workflow.value}",
+            f"k-mer list: {list(self.kmer_list)}",
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  {s.name:22s} {s.ttc:9.0f} s  on {s.n_nodes:3d} x "
+                f"{s.instance_type} ({s.pilot}) {s.notes}"
+            )
+        lines.append(
+            f"TOTAL: {self.total_ttc:.0f} s "
+            f"({self.total_ttc / 3600:.2f} h), cost {self.total_cost:.2f} USD"
+        )
+        return "\n".join(lines)
+
+
+class RnnotatorPipeline:
+    """Driver for the full pipeline on a fresh simulated region."""
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, dataset: Dataset, config: PipelineConfig | None = None) -> PipelineResult:
+        config = config or PipelineConfig()
+        spec = dataset.spec
+
+        clock = SimClock()
+        events = EventQueue(clock)
+        region = EC2Region(clock)
+        db = StateStore(clock)
+        transfers = TransferModel(clock)
+        pm = PilotManager(region, events, db)
+        stages: list[StageReport] = []
+
+        # ---- choose the P_A instance type ---------------------------------
+        pre_mem = task_memory_bytes(spec, "preprocess")
+        if config.instance_type is not None:
+            pa_itype = config.instance_type
+        elif config.workflow.decides_at_runtime:
+            pa_itype = cheapest_with_memory(pre_mem, min_vcpus=8).name
+        else:
+            pa_itype = "c3.2xlarge"  # the static default of the paper
+
+        # ---- stage 0: stage data in --------------------------------------
+        t0 = clock.now
+        transfers.upload(spec.fastq_bytes, dst="head")
+        stages.append(
+            StageReport(
+                name="stage-in",
+                pilot="-",
+                started_at=t0,
+                finished_at=clock.now,
+                n_nodes=0,
+                instance_type="-",
+                notes=f"{spec.fastq_bytes / 1024**3:.1f} GB over WAN",
+            )
+        )
+
+        # ---- pilot P_A: pre-processing ------------------------------------
+        shared_cluster: Cluster | None = None
+        pa = pm.submit(PilotDescription("P_A", pa_itype, n_nodes=1))
+        if config.scheme is MatchingScheme.S2:
+            shared_cluster = build_cluster(
+                region, events, pa_itype, 1, name="shared"
+            )
+            pm.launch_on(pa, shared_cluster)
+        else:
+            pm.launch(pa)
+
+        um = UnitManager(
+            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+        )
+        um.add_pilot(pa)
+
+        all_reads = dataset.run.all_reads()
+        pre_holder: dict[str, PreprocessResult] = {}
+
+        def pre_work():
+            result = preprocess(all_reads, config.preprocess_params)
+            pre_holder["result"] = result
+            return result, result.usage
+
+        t0 = clock.now
+        (pre_unit,) = um.submit_units(
+            [
+                UnitDescription(
+                    name="preprocess",
+                    work=pre_work,
+                    cores=8,
+                    memory_bytes=pre_mem,
+                    scale=dataset.read_scale,
+                    stage="pre-processing",
+                    input_bytes=spec.fastq_bytes,
+                    output_bytes=spec.preprocessed_bytes,
+                )
+            ]
+        )
+        try:
+            um.run([pre_unit])
+        except SchedulingError as exc:
+            raise PipelineError(
+                f"pre-processing failed on {pa_itype}: {exc} "
+                "(a dynamic workflow would have chosen a larger instance)"
+            ) from exc
+        if pre_unit.state is not UnitState.DONE:
+            raise PipelineError(
+                f"pre-processing failed on {pa_itype}: {pre_unit.error} "
+                "(a dynamic workflow would have chosen a larger instance)"
+            )
+        pre: PreprocessResult = pre_holder["result"]
+        stages.append(
+            StageReport(
+                name="pre-processing",
+                pilot=pa.pilot_id,
+                started_at=t0,
+                finished_at=clock.now,
+                n_nodes=1,
+                instance_type=pa_itype,
+                notes=f"{pre.output_reads}/{pre.input_reads} reads kept",
+            )
+        )
+
+        # ---- plan the assembly stage (the dynamic decision) ---------------
+        kmer_list = config.kmer_list or select_kmer_list(pre.modal_read_length)
+        pb_itype = pa_itype if config.scheme is MatchingScheme.S2 else (
+            config.instance_type or pa_itype
+        )
+        plan = plan_assembly(
+            spec,
+            kmer_list,
+            config.assemblers,
+            pb_itype,
+            mpi_nodes_per_job=config.mpi_nodes_per_job,
+            contrail_nodes_per_job=config.contrail_nodes_per_job,
+            max_nodes=config.max_nodes,
+        )
+
+        # ---- pilot P_B: transcript assembly --------------------------------
+        pb = pm.submit(PilotDescription("P_B", pb_itype, n_nodes=plan.n_nodes))
+        if config.scheme is MatchingScheme.S2:
+            if shared_cluster.n_nodes < plan.n_nodes:
+                shared_cluster.grow(
+                    region, plan.n_nodes - shared_cluster.n_nodes
+                )
+            pm.launch_on(pb, shared_cluster)
+        else:
+            pm.finish(pa)  # S1: P_A's VM dies once its data is handed over
+            pm.launch(pb)
+            transfers.copy(
+                spec.preprocessed_bytes, src="P_A", dst="P_B"
+            )
+
+        umb = UnitManager(
+            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+        )
+        umb.add_pilot(pb)
+        descs = multikmer.assembly_unit_descriptions(
+            plan,
+            spec,
+            pre.reads,
+            dataset,
+            min_count=config.min_count,
+            min_contig_length=config.min_contig_length,
+        )
+        t0 = clock.now
+        units = umb.submit_units(descs)
+        umb.run(units)
+        failed = [u for u in units if u.state is not UnitState.DONE]
+        if failed:
+            raise PipelineError(
+                f"assembly jobs failed: "
+                f"{[(u.description.name, u.error) for u in failed]}"
+            )
+        assemblies = multikmer.collect_assembly_results(units)
+        stages.append(
+            StageReport(
+                name="transcript-assembly",
+                pilot=pb.pilot_id,
+                started_at=t0,
+                finished_at=clock.now,
+                n_nodes=plan.n_nodes,
+                instance_type=pb_itype,
+                notes=f"{plan.n_jobs} jobs "
+                f"({'+'.join(config.assemblers)}, k={list(kmer_list)})",
+            )
+        )
+
+        # ---- pilot P_C: post-processing + quantification -------------------
+        pc_itype = pb_itype
+        pc = pm.submit(PilotDescription("P_C", pc_itype, n_nodes=1))
+        if config.scheme is MatchingScheme.S2:
+            pm.finish(pb)
+            shared_cluster.shrink_to(region, 1)
+            pm.launch_on(pc, shared_cluster)
+        else:
+            pm.finish(pb)
+            pm.launch(pc)
+            contig_bytes = int(
+                sum(r.total_bp for r in assemblies.values())
+                / max(dataset.read_scale, 1e-9)
+            )
+            transfers.copy(contig_bytes, src="P_B", dst="P_C")
+
+        umc = UnitManager(
+            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+        )
+        umc.add_pilot(pc)
+
+        merge_holder: dict[str, MergeResult] = {}
+
+        def merge_work():
+            result = merge_contigs(
+                [r.contigs for r in assemblies.values()]
+            )
+            merge_holder["result"] = result
+            return result, result.usage
+
+        t0 = clock.now
+        (merge_unit,) = umc.submit_units(
+            [
+                UnitDescription(
+                    name="postprocess-merge",
+                    work=merge_work,
+                    cores=8,
+                    memory_bytes=task_memory_bytes(spec, "postprocess"),
+                    scale=dataset.read_scale,
+                    stage="post-processing",
+                )
+            ]
+        )
+        umc.run([merge_unit])
+        if merge_unit.state is not UnitState.DONE:
+            raise PipelineError(f"post-processing failed: {merge_unit.error}")
+        merged: MergeResult = merge_holder["result"]
+        stages.append(
+            StageReport(
+                name="post-processing",
+                pilot=pc.pilot_id,
+                started_at=t0,
+                finished_at=clock.now,
+                n_nodes=1,
+                instance_type=pc_itype,
+                notes=f"{merged.input_contigs} -> {merged.output_contigs} contigs",
+            )
+        )
+
+        quant_holder: dict[str, QuantificationResult] = {}
+
+        def quant_work():
+            result = quantify(pre.reads, merged.transcripts)
+            quant_holder["result"] = result
+            return result, result.usage
+
+        t0 = clock.now
+        (quant_unit,) = umc.submit_units(
+            [
+                UnitDescription(
+                    name="quantification",
+                    work=quant_work,
+                    cores=8,
+                    memory_bytes=task_memory_bytes(spec, "postprocess"),
+                    scale=dataset.read_scale,
+                    stage="quantification",
+                )
+            ]
+        )
+        umc.run([quant_unit])
+        if quant_unit.state is not UnitState.DONE:
+            raise PipelineError(f"quantification failed: {quant_unit.error}")
+        stages.append(
+            StageReport(
+                name="quantification",
+                pilot=pc.pilot_id,
+                started_at=t0,
+                finished_at=clock.now,
+                n_nodes=1,
+                instance_type=pc_itype,
+                notes=f"{quant_holder['result'].assignment_rate:.0%} reads assigned",
+            )
+        )
+
+        # ---- teardown -------------------------------------------------------
+        pm.finish(pc)
+        region.terminate_all()
+
+        return PipelineResult(
+            config=config,
+            stages=stages,
+            preprocess=pre,
+            kmer_list=tuple(kmer_list),
+            plan=plan,
+            assemblies=assemblies,
+            merge=merged,
+            quantification=quant_holder["result"],
+            total_ttc=clock.now,
+            total_cost=region.total_cost,
+            transfer_seconds=transfers.total_seconds,
+        )

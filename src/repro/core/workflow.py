@@ -1,0 +1,83 @@
+"""Workflow patterns (paper Fig. 2).
+
+Three execution patterns, distinguished by task-resource mapping and by
+when that mapping is decided:
+
+* **conventional** — every pilot runs on one fixed system, stages execute
+  back-to-back (the original Rnnotator/HPC mode);
+* **distributed static** — multiple pilots over distributed resources,
+  but pilot sizing and task binding are fixed before the run starts;
+* **distributed dynamic** — pilot configuration for each stage is decided
+  just before that stage starts, using runtime information published in
+  the backend state store (the number of k-mer jobs, memory estimates,
+  current VM pool).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WorkflowPattern(enum.Enum):
+    CONVENTIONAL = "conventional"
+    DISTRIBUTED_STATIC = "static"
+    DISTRIBUTED_DYNAMIC = "dynamic"
+
+    @property
+    def is_distributed(self) -> bool:
+        return self is not WorkflowPattern.CONVENTIONAL
+
+    @property
+    def decides_at_runtime(self) -> bool:
+        return self is WorkflowPattern.DISTRIBUTED_DYNAMIC
+
+    @classmethod
+    def parse(cls, value: "WorkflowPattern | str") -> "WorkflowPattern":
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value or member.name == value.upper():
+                return member
+        raise ValueError(f"unknown workflow pattern {value!r}")
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Timing/placement record of one pipeline stage."""
+
+    name: str
+    pilot: str
+    started_at: float
+    finished_at: float
+    n_nodes: int
+    instance_type: str
+    notes: str = ""
+
+    @property
+    def ttc(self) -> float:
+        return self.finished_at - self.started_at
+
+
+#: The Rnnotator stage sequence (Fig. 1) and the pilot that runs each.
+STAGES = (
+    ("pre-processing", "P_A"),
+    ("transcript-assembly", "P_B"),
+    ("post-processing", "P_C"),
+    ("quantification", "P_C"),
+)
+
+
+def describe_pattern(pattern: WorkflowPattern) -> str:
+    """One-line description used by reports and the quickstart example."""
+    return {
+        WorkflowPattern.CONVENTIONAL: (
+            "all pilots on a single fixed resource, stages back-to-back"
+        ),
+        WorkflowPattern.DISTRIBUTED_STATIC: (
+            "pilots over distributed resources with a pre-defined mapping"
+        ),
+        WorkflowPattern.DISTRIBUTED_DYNAMIC: (
+            "pilot sizing decided per stage from runtime information"
+        ),
+    }[pattern]

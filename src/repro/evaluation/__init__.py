@@ -1,0 +1,17 @@
+"""Reference-based transcript assembly evaluation (DETONATE analog).
+
+Implements the REF-EVAL metrics of DETONATE v1.10 (Li et al., Genome
+Biology 2014) that the paper's Table V reports:
+
+* nucleotide-level precision / recall / F1 (:func:`detonate.evaluate`),
+* weighted k-mer recall, and
+* the k-mer compression (kc) score.
+
+Alignment of contigs to the reference uses seed-and-vote k-mer matching
+(:mod:`align`) instead of DETONATE's BLAT dependency.
+"""
+
+from repro.evaluation.align import AlignmentIndex, align_contig
+from repro.evaluation.detonate import DetonateScores, evaluate
+
+__all__ = ["AlignmentIndex", "align_contig", "DetonateScores", "evaluate"]

@@ -1,0 +1,108 @@
+"""Seed-and-vote alignment of contigs to reference transcripts.
+
+DETONATE's nucleotide-level metrics need, for every assembled contig, the
+reference positions it matches.  Contigs here are high-identity (they come
+from DBG assembly of simulated reads), so a simple seed-and-vote aligner
+is accurate: hash every reference k-mer, collect a contig's seed hits,
+vote on (transcript, diagonal), and score the best diagonal with a direct
+vectorized base comparison.  Both strands are tried.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq import alphabet
+from repro.seq.alphabet import encode
+
+SEED_K = 15
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One contig-to-reference alignment on a single diagonal."""
+
+    transcript_index: int
+    ref_start: int
+    contig_start: int
+    length: int
+    matches: int
+    strand: int
+
+    @property
+    def identity(self) -> float:
+        return self.matches / self.length if self.length else 0.0
+
+
+class AlignmentIndex:
+    """Seed index over a set of reference sequences."""
+
+    def __init__(self, references: list[str], seed_k: int = SEED_K) -> None:
+        if seed_k < 8:
+            raise ValueError("seed_k must be >= 8")
+        self.seed_k = seed_k
+        self.references = references
+        self.ref_codes = [encode(r) for r in references]
+        self._index: dict[bytes, list[tuple[int, int]]] = {}
+        for tid, codes in enumerate(self.ref_codes):
+            raw = codes.tobytes()
+            for pos in range(len(raw) - seed_k + 1):
+                seed = raw[pos : pos + seed_k]
+                self._index.setdefault(seed, []).append((tid, pos))
+
+    def seed_hits(self, codes: np.ndarray) -> Counter:
+        """(transcript, diagonal) vote counts for a contig's seeds."""
+        votes: Counter = Counter()
+        raw = codes.tobytes()
+        k = self.seed_k
+        for pos in range(0, len(raw) - k + 1):
+            for tid, rpos in self._index.get(raw[pos : pos + k], ()):
+                votes[(tid, rpos - pos)] += 1
+        return votes
+
+
+def _score_diagonal(
+    index: AlignmentIndex,
+    contig_codes: np.ndarray,
+    tid: int,
+    diagonal: int,
+    strand: int,
+) -> Alignment:
+    ref = index.ref_codes[tid]
+    c_start = max(0, -diagonal)
+    r_start = c_start + diagonal
+    length = min(len(contig_codes) - c_start, len(ref) - r_start)
+    if length <= 0:
+        return Alignment(tid, r_start, c_start, 0, 0, strand)
+    matches = int(
+        (
+            contig_codes[c_start : c_start + length]
+            == ref[r_start : r_start + length]
+        ).sum()
+    )
+    return Alignment(tid, r_start, c_start, length, matches, strand)
+
+
+def align_contig(
+    index: AlignmentIndex,
+    contig_seq: str,
+    min_votes: int = 2,
+) -> Alignment | None:
+    """Best single-diagonal alignment of a contig (either strand)."""
+    best: Alignment | None = None
+    for strand, seq in ((1, contig_seq), (-1, alphabet.reverse_complement(contig_seq))):
+        codes = encode(seq)
+        votes = index.seed_hits(codes)
+        if not votes:
+            continue
+        # Score the few strongest diagonals only.
+        for (tid, diag), n in votes.most_common(3):
+            if n < min_votes:
+                continue
+            aln = _score_diagonal(index, codes, tid, diag, strand)
+            if best is None or aln.matches > best.matches:
+                best = aln
+    return best

@@ -1,0 +1,32 @@
+"""Functional simulated distributed runtimes.
+
+The assemblers in :mod:`repro.assembly` are written as genuine distributed
+algorithms (hash-partitioned state, explicit collectives) against these
+runtimes:
+
+* :mod:`repro.parallel.comm` — an MPI-like SPMD world executed
+  deterministically in-process, with full traffic accounting.
+* :mod:`repro.parallel.mapreduce` — a multi-round MapReduce engine with
+  per-job startup costs (the Hadoop behaviour that dominates Contrail's
+  small-cluster TTC in the paper).
+* :mod:`repro.parallel.usage` — resource-usage records produced by both.
+* :mod:`repro.parallel.costmodel` — converts measured usage into virtual
+  seconds on a given machine configuration (calibrated against Table III).
+"""
+
+from repro.parallel.comm import SimWorld
+from repro.parallel.costmodel import CostModel, MachineConfig
+from repro.parallel.mapreduce import MapReduceEngine, MRJob, MRJobStats
+from repro.parallel.usage import PhaseUsage, ResourceUsage, nbytes
+
+__all__ = [
+    "SimWorld",
+    "MapReduceEngine",
+    "MRJob",
+    "MRJobStats",
+    "PhaseUsage",
+    "ResourceUsage",
+    "nbytes",
+    "CostModel",
+    "MachineConfig",
+]

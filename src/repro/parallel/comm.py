@@ -1,0 +1,207 @@
+"""An MPI-like SPMD world, executed deterministically in-process.
+
+Distributed algorithms are written in the loosely-synchronous style the
+paper's assemblers actually use: every rank holds local state (a slot in a
+per-rank list), local compute loops iterate over ranks, and data moves only
+through explicit collectives (``alltoall``, ``allreduce``, ``gather``,
+``bcast``...).  The world records everything — per-rank work charges,
+bytes through every collective, latency-bound message counts — into
+:class:`~repro.parallel.usage.ResourceUsage` phases, which the cost model
+later turns into virtual seconds.
+
+Example::
+
+    world = SimWorld(4)
+    with world.phase("count", kind="kmer"):
+        send = [[[] for _ in range(4)] for _ in range(4)]
+        for r in world.ranks():
+            for item in local_items[r]:
+                send[r][owner(item)].append(item)
+            world.charge(r, len(local_items[r]))
+        recv = world.alltoall(send)
+    usage = world.usage
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.parallel.usage import PhaseUsage, ResourceUsage, nbytes
+
+
+class CommError(RuntimeError):
+    """Misuse of the communicator (bad shapes, no active phase, ...)."""
+
+
+@dataclass
+class _PhaseAccumulator:
+    name: str
+    kind: str
+    charges: dict[int, float] = field(default_factory=dict)
+    serial: float = 0.0
+    comm_bytes: int = 0
+    n_collectives: int = 0
+    n_messages: int = 0
+    n_jobs: int = 0
+
+    def to_usage(self) -> PhaseUsage:
+        return PhaseUsage(
+            name=self.name,
+            kind=self.kind,
+            critical_compute=max(self.charges.values(), default=0.0),
+            total_compute=sum(self.charges.values()),
+            serial_compute=self.serial,
+            comm_bytes=self.comm_bytes,
+            n_collectives=self.n_collectives,
+            n_messages=self.n_messages,
+            n_jobs=self.n_jobs,
+        )
+
+
+class SimWorld:
+    """A fixed-size SPMD communicator with usage accounting."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.size = n_ranks
+        self._phase: _PhaseAccumulator | None = None
+        self._usage = ResourceUsage(n_ranks=n_ranks)
+        self._peak_memory = 0
+
+    # -- structure -----------------------------------------------------------
+
+    def ranks(self) -> range:
+        """Iterate rank ids (SPMD outer loop)."""
+        return range(self.size)
+
+    @contextmanager
+    def phase(self, name: str, kind: str = "generic") -> Iterator[None]:
+        """Delimit a named computation phase; phases may not nest."""
+        if self._phase is not None:
+            raise CommError(f"phase {self._phase.name!r} already active")
+        self._phase = _PhaseAccumulator(name=name, kind=kind)
+        try:
+            yield
+        finally:
+            self._usage.add_phase(self._phase.to_usage())
+            self._phase = None
+
+    @property
+    def usage(self) -> ResourceUsage:
+        """Usage so far (phases closed to this point)."""
+        self._usage.peak_rank_memory_bytes = self._peak_memory
+        return self._usage
+
+    # -- accounting -----------------------------------------------------------
+
+    def _acc(self) -> _PhaseAccumulator:
+        if self._phase is None:
+            raise CommError("no active phase; wrap work in world.phase(...)")
+        return self._phase
+
+    def charge(self, rank: int, units: float) -> None:
+        """Charge ``units`` of work to ``rank`` in the current phase."""
+        self._check_rank(rank)
+        acc = self._acc()
+        acc.charges[rank] = acc.charges.get(rank, 0.0) + units
+
+    def charge_serial(self, units: float) -> None:
+        """Charge single-rank (Amdahl) work: others idle while it runs."""
+        self._acc().serial += units
+
+    def count_messages(self, n: int) -> None:
+        """Record ``n`` latency-bound point-to-point messages."""
+        self._acc().n_messages += n
+
+    def record_memory(self, rank: int, n_bytes: int) -> None:
+        """Record the current memory footprint of ``rank``."""
+        self._check_rank(rank)
+        self._peak_memory = max(self._peak_memory, int(n_bytes))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range [0, {self.size})")
+
+    def _collective(self, off_node_bytes: int) -> None:
+        acc = self._acc()
+        acc.n_collectives += 1
+        acc.comm_bytes += off_node_bytes
+
+    # -- collectives -----------------------------------------------------------
+
+    def alltoall(self, send: Sequence[Sequence[Any]]) -> list[list[Any]]:
+        """All-to-all personalized exchange.
+
+        ``send[src][dst]`` is the payload from ``src`` to ``dst``; the
+        return value ``recv`` satisfies ``recv[dst][src] == send[src][dst]``.
+        Only off-diagonal payloads count as communication.
+        """
+        self._check_matrix(send)
+        off_node = sum(
+            nbytes(send[s][d])
+            for s in range(self.size)
+            for d in range(self.size)
+            if s != d
+        )
+        self._collective(off_node)
+        return [[send[s][d] for s in range(self.size)] for d in range(self.size)]
+
+    def _check_matrix(self, send) -> None:
+        if len(send) != self.size or any(len(row) != self.size for row in send):
+            raise CommError(
+                f"alltoall needs a {self.size}x{self.size} payload matrix"
+            )
+
+    def allreduce(
+        self, values: Sequence[Any], op: Callable[[Any, Any], Any] = None
+    ) -> Any:
+        """Reduce per-rank values with ``op`` (default +) and broadcast."""
+        self._check_vector(values)
+        if op is None:
+            op = lambda a, b: a + b
+        result = values[0]
+        for v in values[1:]:
+            result = op(result, v)
+        per_value = max(nbytes(v) for v in values)
+        self._collective(2 * per_value * max(self.size - 1, 0))
+        return result
+
+    def gather(self, values: Sequence[Any], root: int = 0) -> list[Any]:
+        """Gather per-rank values to ``root``; returns the full list."""
+        self._check_vector(values)
+        self._check_rank(root)
+        off_node = sum(nbytes(v) for r, v in enumerate(values) if r != root)
+        self._collective(off_node)
+        return list(values)
+
+    def allgather(self, values: Sequence[Any]) -> list[Any]:
+        """Gather per-rank values everywhere."""
+        self._check_vector(values)
+        total = sum(nbytes(v) for v in values)
+        self._collective(total * max(self.size - 1, 0))
+        return list(values)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to all ranks."""
+        self._check_rank(root)
+        self._collective(nbytes(value) * max(self.size - 1, 0))
+        return value
+
+    def scatter(self, values: Sequence[Any], root: int = 0) -> list[Any]:
+        """Scatter one value per rank from ``root``; returns the list."""
+        self._check_vector(values)
+        self._check_rank(root)
+        off_node = sum(nbytes(v) for r, v in enumerate(values) if r != root)
+        self._collective(off_node)
+        return list(values)
+
+    def barrier(self) -> None:
+        """Synchronization-only collective."""
+        self._collective(0)
+
+    def _check_vector(self, values) -> None:
+        if len(values) != self.size:
+            raise CommError(f"expected one value per rank ({self.size})")

@@ -1,0 +1,156 @@
+"""A functional MapReduce engine with Hadoop-like cost structure.
+
+Contrail (Schatz et al.) runs DBG assembly as a *sequence of MapReduce
+jobs*: graph construction, then repeated path-compression / tip-removal
+rounds.  Two properties of that execution model drive the paper's Fig. 3
+result (Contrail very slow on few nodes, converging at many):
+
+* each job pays a fixed startup/teardown overhead regardless of size, and
+* map/shuffle/reduce are embarrassingly parallel, so adding workers keeps
+  helping until the overhead floor dominates.
+
+This engine executes real ``(key, value)`` map/combine/shuffle/sort/reduce
+semantics and records per-job statistics that the cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.parallel.usage import PhaseUsage, ResourceUsage, nbytes
+
+KV = tuple[Hashable, Any]
+Mapper = Callable[[Hashable, Any], Iterable[KV]]
+Reducer = Callable[[Hashable, list[Any]], Iterable[KV]]
+
+
+@dataclass(frozen=True)
+class MRJob:
+    """One MapReduce job: a mapper, a reducer and an optional combiner.
+
+    The combiner, when given, runs on each mapper's local output groups
+    before the shuffle (the standard Hadoop optimization) and must be
+    semantically compatible with the reducer.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+
+
+@dataclass
+class MRJobStats:
+    """Measured statistics of one executed job."""
+
+    name: str
+    map_input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+
+    @property
+    def map_work(self) -> float:
+        return float(self.map_input_records + self.map_output_records)
+
+    @property
+    def reduce_work(self) -> float:
+        return float(self.combine_output_records + self.reduce_output_records)
+
+
+class MapReduceEngine:
+    """Executes jobs over ``n_workers`` simulated workers.
+
+    Work is hash-partitioned: records are split across map tasks, and
+    intermediate keys across reduce tasks, exactly as a real cluster would.
+    Statistics are accumulated into a :class:`ResourceUsage` with one
+    phase per job so downstream pricing can count jobs and shuffles.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.job_stats: list[MRJobStats] = []
+        self._usage = ResourceUsage(n_ranks=n_workers)
+        self._peak_memory = 0
+
+    @property
+    def usage(self) -> ResourceUsage:
+        self._usage.peak_rank_memory_bytes = self._peak_memory
+        return self._usage
+
+    def run(self, job: MRJob, records: Sequence[KV]) -> list[KV]:
+        """Execute one job and return its sorted output records."""
+        stats = MRJobStats(name=job.name)
+        n = self.n_workers
+
+        # Map: records split round-robin over map tasks; each task's output
+        # is optionally combined locally before shuffle.
+        partitions: list[dict[Hashable, list[Any]]] = [dict() for _ in range(n)]
+        map_outputs_per_task: list[dict[Hashable, list[Any]]] = []
+        for task in range(n):
+            local: dict[Hashable, list[Any]] = {}
+            for i in range(task, len(records), n):
+                k, v = records[i]
+                stats.map_input_records += 1
+                for ok, ov in job.mapper(k, v):
+                    stats.map_output_records += 1
+                    local.setdefault(ok, []).append(ov)
+            if job.combiner is not None:
+                combined: dict[Hashable, list[Any]] = {}
+                for k, vs in local.items():
+                    for ck, cv in job.combiner(k, vs):
+                        stats.combine_output_records += 1
+                        combined.setdefault(ck, []).append(cv)
+                local = combined
+            else:
+                stats.combine_output_records += sum(len(v) for v in local.values())
+            map_outputs_per_task.append(local)
+
+        # Shuffle: hash-partition intermediate keys over reduce tasks.
+        for local in map_outputs_per_task:
+            for k, vs in local.items():
+                dest = hash(k) % n
+                stats.shuffle_bytes += nbytes(k) + nbytes(vs)
+                partitions[dest].setdefault(k, []).extend(vs)
+
+        # Track reducer-side memory: the largest partition must fit.
+        if partitions:
+            part_bytes = max(nbytes(p) for p in partitions)
+            self._peak_memory = max(self._peak_memory, part_bytes)
+
+        # Sort + Reduce.
+        output: list[KV] = []
+        for part in partitions:
+            for k in sorted(part.keys(), key=repr):
+                stats.reduce_input_groups += 1
+                for rk, rv in job.reducer(k, part[k]):
+                    stats.reduce_output_records += 1
+                    output.append((rk, rv))
+
+        self.job_stats.append(stats)
+        self._usage.add_phase(
+            PhaseUsage(
+                name=job.name,
+                kind="mr_job",
+                critical_compute=(stats.map_work + stats.reduce_work) / n,
+                total_compute=stats.map_work + stats.reduce_work,
+                comm_bytes=stats.shuffle_bytes,
+                n_collectives=1,
+                n_jobs=1,
+            )
+        )
+        return output
+
+    def chain(
+        self, jobs: Iterable[MRJob], records: Sequence[KV]
+    ) -> list[KV]:
+        """Run jobs sequentially, feeding each job's output to the next."""
+        current = list(records)
+        for job in jobs:
+            current = self.run(job, current)
+        return current

@@ -1,0 +1,127 @@
+"""The pilot agent: executes compute units on the pilot's cluster.
+
+The agent is where virtual time happens: it runs each unit's *real*
+workload callable, extrapolates the measured usage to paper scale,
+prices it with the cost model against the SGE slot allocation actually
+granted, and enforces node memory — a unit whose extrapolated footprint
+does not fit its nodes fails with an OOM, the exact failure mode
+motivating the paper's distributed assemblers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.sge import SGEJob
+from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
+from repro.parallel.usage import ResourceUsage
+from repro.pilot.pilot import Pilot
+from repro.pilot.states import PilotState, UnitState
+from repro.pilot.unit import ComputeUnit
+
+#: Fraction of the priced runtime a task burns before dying of OOM.
+OOM_FAILURE_FRACTION = 0.3
+
+
+class AgentError(RuntimeError):
+    pass
+
+
+@dataclass
+class PilotAgent:
+    """Executes units bound to one ACTIVE pilot."""
+
+    pilot: Pilot
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.pilot.cluster is None:
+            raise AgentError(f"{self.pilot.pilot_id} has no cluster")
+
+    def submit(self, unit: ComputeUnit) -> None:
+        """Run the unit's workload, price it, and enqueue the SGE job."""
+        if self.pilot.state is not PilotState.ACTIVE:
+            raise AgentError(f"{self.pilot.pilot_id} is not ACTIVE")
+        cluster = self.pilot.cluster
+        unit.advance(UnitState.PENDING_EXECUTION)
+
+        # Static capacity check against the declared footprint.
+        itype = cluster.itype
+        nodes_spanned = max(
+            1, min(cluster.n_nodes, -(-unit.description.cores // itype.vcpus))
+        )
+        declared = unit.description.memory_bytes
+        if declared and declared / nodes_spanned > itype.memory_bytes:
+            unit.fail(
+                f"OOM (static): needs {declared / nodes_spanned / 1024**3:.1f} "
+                f"GiB/node on {itype.name} ({itype.memory_gb:.0f} GiB)"
+            )
+            return
+
+        # Execute the real workload now; time is charged on the virtual
+        # clock when the SGE job runs.
+        try:
+            result, usage = unit.description.work()
+        except Exception as exc:  # workload crash -> unit failure
+            unit.fail(f"workload error: {exc}")
+            return
+        scaled = usage.scaled(1.0 / unit.description.scale)
+        oom = {"hit": False}
+
+        def duration(alloc: dict[str, int]) -> float:
+            machine = MachineConfig(
+                n_nodes=len(alloc),
+                cores_per_node=itype.vcpus,
+                compute_factor=itype.compute_factor,
+                network_bandwidth=itype.network_bandwidth,
+            )
+            seconds = self.cost_model.task_seconds(scaled, machine)
+            seconds += self.cost_model.io_seconds(
+                unit.description.input_bytes + unit.description.output_bytes,
+                machine,
+            )
+            ranks_per_node = -(-scaled.n_ranks // len(alloc))
+            if not fits_in_memory(scaled, itype.memory_bytes, ranks_per_node):
+                oom["hit"] = True
+                return seconds * OOM_FAILURE_FRACTION
+            return seconds
+
+        def on_start_states() -> None:
+            unit.advance(UnitState.EXECUTING)
+            unit.started_at = cluster.events.clock.now
+
+        def on_complete(job: SGEJob) -> None:
+            unit.finished_at = cluster.events.clock.now
+            if oom["hit"]:
+                peak = scaled.peak_rank_memory_bytes
+                unit.result = None
+                unit.usage = scaled
+                unit.fail(
+                    f"OOM (measured): peak rank footprint "
+                    f"{peak / 1024**3:.1f} GiB on {itype.name}"
+                )
+                return
+            unit.result = result
+            unit.usage = scaled
+            unit.advance(UnitState.DONE)
+
+        def timed_duration(alloc: dict[str, int]) -> float:
+            on_start_states()
+            return duration(alloc)
+
+        job = SGEJob(
+            name=unit.description.name,
+            slots=min(unit.description.cores, cluster.total_slots),
+            duration=timed_duration,
+            on_complete=on_complete,
+        )
+        cluster.scheduler.qsub(job)
+
+
+def merged_usage(units: list[ComputeUnit]) -> ResourceUsage:
+    """Sequentially merge the scaled usage of finished units."""
+    total = ResourceUsage()
+    for u in units:
+        if u.usage is not None:
+            total = total.merge(u.usage)
+    return total

@@ -1,0 +1,81 @@
+"""Backend state store.
+
+RADICAL-Pilot coordinates managers and agents through a MongoDB instance
+that "updates run-time information on the fly" (§III.C).  This in-memory
+analog provides the same observable behaviour: every entity publishes its
+state changes here with virtual timestamps, and watchers fire on update —
+which is how the dynamic workflow reacts to the pre-processing output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cloud.clock import SimClock
+
+Watcher = Callable[[str, str, Any], None]
+
+
+@dataclass(frozen=True)
+class StateRecord:
+    entity_id: str
+    field: str
+    value: Any
+    timestamp: float
+
+
+@dataclass
+class StateStore:
+    """Entity documents plus an append-only history with watchers."""
+
+    clock: SimClock
+    documents: dict[str, dict[str, Any]] = field(default_factory=dict)
+    history: list[StateRecord] = field(default_factory=list)
+    _watchers: list[Watcher] = field(default_factory=list)
+
+    def register(self, entity_id: str, **initial: Any) -> None:
+        if entity_id in self.documents:
+            raise KeyError(f"entity {entity_id!r} already registered")
+        self.documents[entity_id] = {}
+        for k, v in initial.items():
+            self.update(entity_id, k, v)
+
+    def update(self, entity_id: str, field_name: str, value: Any) -> None:
+        if entity_id not in self.documents:
+            raise KeyError(f"unknown entity {entity_id!r}")
+        self.documents[entity_id][field_name] = value
+        self.history.append(
+            StateRecord(entity_id, field_name, value, self.clock.now)
+        )
+        for w in list(self._watchers):
+            w(entity_id, field_name, value)
+
+    def get(self, entity_id: str, field_name: str, default: Any = None) -> Any:
+        return self.documents.get(entity_id, {}).get(field_name, default)
+
+    def watch(self, watcher: Watcher) -> Callable[[], None]:
+        """Register a watcher; returns an unsubscribe function."""
+        self._watchers.append(watcher)
+
+        def unsubscribe() -> None:
+            if watcher in self._watchers:
+                self._watchers.remove(watcher)
+
+        return unsubscribe
+
+    def history_of(self, entity_id: str, field_name: str | None = None) -> list[StateRecord]:
+        return [
+            r
+            for r in self.history
+            if r.entity_id == entity_id
+            and (field_name is None or r.field == field_name)
+        ]
+
+    def timeline(self, field_name: str = "state") -> list[tuple[float, str, Any]]:
+        """(timestamp, entity, value) tuples for one field, in time order."""
+        return [
+            (r.timestamp, r.entity_id, r.value)
+            for r in self.history
+            if r.field == field_name
+        ]

@@ -1,0 +1,161 @@
+"""PilotManager and UnitManager front-ends.
+
+``PilotManager`` owns pilot lifecycles against the simulated EC2 region:
+launching a pilot provisions a StarCluster-style SGE cluster (or binds an
+existing one — the S2 reuse path), cancelling it tears the VMs down when
+the pilot owns them.
+
+``UnitManager`` binds compute units to pilots through a pluggable
+scheduler, drives their execution through the pilot agents, and restarts
+failed units elsewhere when allowed — the pilot system's "starting,
+monitoring, and restarting" role (§III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.clock import EventQueue
+from repro.cloud.cluster import Cluster, build_cluster, cluster_from_vms
+from repro.cloud.ec2 import EC2Region
+from repro.parallel.costmodel import CostModel
+from repro.pilot.agent import PilotAgent
+from repro.pilot.db import StateStore
+from repro.pilot.description import PilotDescription, UnitDescription
+from repro.pilot.pilot import Pilot
+from repro.pilot.scheduler import (
+    RoundRobinScheduler,
+    SchedulingError,
+    UnitScheduler,
+    unit_fits_pilot,
+)
+from repro.pilot.states import PilotState, UnitState
+from repro.pilot.unit import ComputeUnit
+
+
+class ManagerError(RuntimeError):
+    pass
+
+
+@dataclass
+class PilotManager:
+    """Creates, launches and cancels pilots on the region."""
+
+    region: EC2Region
+    events: EventQueue
+    db: StateStore
+    pilots: list[Pilot] = field(default_factory=list)
+
+    def submit(self, description: PilotDescription) -> Pilot:
+        pilot = Pilot(description=description, db=self.db)
+        self.pilots.append(pilot)
+        return pilot
+
+    def launch(self, pilot: Pilot) -> Pilot:
+        """S1-style launch: provision a fresh fleet for this pilot."""
+        pilot.advance(PilotState.PENDING_LAUNCH)
+        pilot.advance(PilotState.LAUNCHING)
+        cluster = build_cluster(
+            self.region,
+            self.events,
+            pilot.description.instance_type,
+            pilot.description.n_nodes,
+            name=f"{pilot.pilot_id}.cluster",
+        )
+        pilot.bind_cluster(cluster)
+        pilot.owns_vms = True
+        pilot.advance(PilotState.ACTIVE)
+        return pilot
+
+    def launch_on(self, pilot: Pilot, cluster: Cluster) -> Pilot:
+        """S2-style launch: bind to an existing cluster (VM reuse)."""
+        if cluster.itype.name != pilot.description.instance_type:
+            raise ManagerError(
+                f"pilot wants {pilot.description.instance_type}, cluster is "
+                f"{cluster.itype.name}"
+            )
+        if cluster.n_nodes < pilot.description.n_nodes:
+            raise ManagerError(
+                f"pilot wants {pilot.description.n_nodes} nodes, cluster has "
+                f"{cluster.n_nodes}"
+            )
+        pilot.advance(PilotState.PENDING_LAUNCH)
+        pilot.advance(PilotState.LAUNCHING)
+        pilot.bind_cluster(cluster)
+        pilot.owns_vms = False
+        pilot.advance(PilotState.ACTIVE)
+        return pilot
+
+    def finish(self, pilot: Pilot) -> None:
+        """Complete a pilot; terminates its fleet when it owns one (S1)."""
+        pilot.advance(PilotState.DONE)
+        if pilot.owns_vms and pilot.cluster is not None:
+            self.region.terminate_all(pilot.cluster.vms)
+
+    def cancel(self, pilot: Pilot) -> None:
+        pilot.advance(PilotState.CANCELED)
+        if pilot.owns_vms and pilot.cluster is not None:
+            self.region.terminate_all(pilot.cluster.vms)
+
+
+@dataclass
+class UnitManager:
+    """Schedules and executes compute units over a set of pilots."""
+
+    db: StateStore
+    events: EventQueue
+    scheduler: UnitScheduler = field(default_factory=RoundRobinScheduler)
+    cost_model: CostModel = field(default_factory=CostModel)
+    pilots: list[Pilot] = field(default_factory=list)
+    units: list[ComputeUnit] = field(default_factory=list)
+    _agents: dict[str, PilotAgent] = field(default_factory=dict)
+
+    def add_pilot(self, pilot: Pilot) -> None:
+        if pilot.state is not PilotState.ACTIVE:
+            raise ManagerError(f"{pilot.pilot_id} must be ACTIVE")
+        self.pilots.append(pilot)
+        self._agents[pilot.pilot_id] = PilotAgent(
+            pilot=pilot, cost_model=self.cost_model
+        )
+
+    def submit_units(
+        self, descriptions: list[UnitDescription]
+    ) -> list[ComputeUnit]:
+        units = []
+        for d in descriptions:
+            unit = ComputeUnit(description=d, db=self.db)
+            unit.advance(UnitState.UNSCHEDULED)
+            units.append(unit)
+            self.units.append(unit)
+        return units
+
+    def run(self, units: list[ComputeUnit] | None = None) -> list[ComputeUnit]:
+        """Schedule, execute and (where allowed) restart units; returns
+        them once all are final.  Advances the virtual clock."""
+        pending = list(units) if units is not None else list(self.units)
+        if not self.pilots:
+            raise ManagerError("no pilots added")
+
+        attempt = 0
+        while pending:
+            assignment = self.scheduler.schedule(pending, self.pilots)
+            for unit in pending:
+                unit.advance(UnitState.SCHEDULING)
+                unit.assign(assignment[unit.unit_id])
+                self._agents[unit.pilot_id].submit(unit)
+            self.events.run()
+
+            failed = [u for u in pending if u.state is UnitState.FAILED]
+            retryable = [
+                u for u in failed if u.restarts < u.description.max_restarts
+            ]
+            for u in retryable:
+                u.reset_for_restart()
+            pending = retryable
+            attempt += 1
+            if attempt > 10:
+                raise ManagerError("restart loop did not converge")
+        return list(units) if units is not None else list(self.units)
+
+    def wait_done(self) -> None:
+        self.events.run()

@@ -1,0 +1,59 @@
+"""The Pilot entity: a held slice of cloud resources."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.cluster import Cluster
+from repro.pilot.db import StateStore
+from repro.pilot.description import PilotDescription
+from repro.pilot.states import (
+    PILOT_FINAL,
+    PilotState,
+    check_pilot_transition,
+)
+
+_ids = itertools.count()
+
+
+@dataclass
+class Pilot:
+    """A pilot: description + state + (once ACTIVE) a bound cluster."""
+
+    description: PilotDescription
+    db: StateStore
+    pilot_id: str = field(default_factory=lambda: f"pilot.{next(_ids):04d}")
+    state: PilotState = PilotState.NEW
+    cluster: Cluster | None = None
+    owns_vms: bool = True  # S1 pilots own their VMs; S2 pilots borrow
+
+    def __post_init__(self) -> None:
+        self.db.register(
+            self.pilot_id,
+            state=self.state.value,
+            name=self.description.name,
+            instance_type=self.description.instance_type,
+            n_nodes=self.description.n_nodes,
+        )
+
+    def advance(self, new: PilotState) -> None:
+        """Move to ``new``, enforcing the transition table and publishing
+        the change to the state store."""
+        check_pilot_transition(self.state, new)
+        self.state = new
+        self.db.update(self.pilot_id, "state", new.value)
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in PILOT_FINAL
+
+    @property
+    def n_nodes(self) -> int:
+        return self.description.n_nodes
+
+    def bind_cluster(self, cluster: Cluster) -> None:
+        if self.cluster is not None:
+            raise RuntimeError(f"{self.pilot_id} already has a cluster")
+        self.cluster = cluster
+        self.db.update(self.pilot_id, "cluster", cluster.name)

@@ -1,0 +1,137 @@
+"""Unit -> pilot schedulers.
+
+RADICAL-Pilot's UnitManager supports pluggable scheduling policies; the
+pipeline uses three:
+
+* round-robin — the distributed-static workflow pattern,
+* memory-aware — refuse to bind a unit whose (paper-scale) footprint
+  cannot fit the pilot's nodes, preferring pilots with headroom; this is
+  what saves large inputs from landing on c3.2xlarge (Table IV), and
+* a load-balancing variant weighting pilots by free cores.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cloud.instances import get_instance_type
+from repro.pilot.pilot import Pilot
+from repro.pilot.states import PilotState
+from repro.pilot.unit import ComputeUnit
+
+
+class SchedulingError(RuntimeError):
+    """No pilot can host the unit."""
+
+
+def _usable(pilots: list[Pilot]) -> list[Pilot]:
+    return [
+        p
+        for p in pilots
+        if p.state in (PilotState.ACTIVE, PilotState.LAUNCHING, PilotState.PENDING_LAUNCH, PilotState.NEW)
+    ]
+
+
+def unit_fits_pilot(unit: ComputeUnit, pilot: Pilot) -> bool:
+    """Static capacity check: cores and declared memory vs the pilot fleet."""
+    itype = get_instance_type(pilot.description.instance_type)
+    total_cores = itype.vcpus * pilot.n_nodes
+    if unit.description.cores > total_cores:
+        return False
+    mem = unit.description.memory_bytes
+    if mem:
+        # Per-node share: a unit spreading over n nodes needs mem/n per node.
+        nodes_used = max(
+            1, min(pilot.n_nodes, -(-unit.description.cores // itype.vcpus))
+        )
+        if mem / nodes_used > itype.memory_bytes:
+            return False
+    return True
+
+
+class UnitScheduler(ABC):
+    """Assigns each unit to one pilot."""
+
+    @abstractmethod
+    def schedule(
+        self, units: list[ComputeUnit], pilots: list[Pilot]
+    ) -> dict[str, str]:
+        """Returns ``{unit_id: pilot_id}``; raises SchedulingError when a
+        unit fits nowhere."""
+
+
+class RoundRobinScheduler(UnitScheduler):
+    """Cycle through the usable pilots, skipping those the unit cannot fit."""
+
+    def schedule(self, units, pilots):
+        usable = _usable(pilots)
+        if not usable:
+            raise SchedulingError("no usable pilots")
+        out: dict[str, str] = {}
+        i = 0
+        for unit in units:
+            placed = False
+            for probe in range(len(usable)):
+                pilot = usable[(i + probe) % len(usable)]
+                if unit_fits_pilot(unit, pilot):
+                    out[unit.unit_id] = pilot.pilot_id
+                    i = (i + probe + 1) % len(usable)
+                    placed = True
+                    break
+            if not placed:
+                raise SchedulingError(
+                    f"unit {unit.description.name!r} fits no pilot"
+                )
+        return out
+
+
+class MemoryAwareScheduler(UnitScheduler):
+    """Prefer the cheapest pilot whose nodes can hold the unit's footprint."""
+
+    def schedule(self, units, pilots):
+        usable = _usable(pilots)
+        if not usable:
+            raise SchedulingError("no usable pilots")
+        out: dict[str, str] = {}
+        for unit in units:
+            candidates = [p for p in usable if unit_fits_pilot(unit, p)]
+            if not candidates:
+                raise SchedulingError(
+                    f"unit {unit.description.name!r} ("
+                    f"{unit.description.memory_bytes / 1024**3:.0f} GiB) "
+                    f"fits no pilot"
+                )
+            best = min(
+                candidates,
+                key=lambda p: (
+                    get_instance_type(p.description.instance_type).price_per_hour,
+                    -p.n_nodes,
+                ),
+            )
+            out[unit.unit_id] = best.pilot_id
+        return out
+
+
+class LoadBalancingScheduler(UnitScheduler):
+    """Spread units proportionally to pilot core counts."""
+
+    def schedule(self, units, pilots):
+        usable = _usable(pilots)
+        if not usable:
+            raise SchedulingError("no usable pilots")
+        assigned_cores = {p.pilot_id: 0 for p in usable}
+        out: dict[str, str] = {}
+        for unit in units:
+            candidates = [p for p in usable if unit_fits_pilot(unit, p)]
+            if not candidates:
+                raise SchedulingError(
+                    f"unit {unit.description.name!r} fits no pilot"
+                )
+            best = min(
+                candidates,
+                key=lambda p: assigned_cores[p.pilot_id]
+                / (get_instance_type(p.description.instance_type).vcpus * p.n_nodes),
+            )
+            out[unit.unit_id] = best.pilot_id
+            assigned_cores[best.pilot_id] += unit.description.cores
+        return out

@@ -1,0 +1,89 @@
+"""Pilot and compute-unit state machines.
+
+State names and ordering follow RADICAL-Pilot's model (Merzky et al.
+2015): pilots move through launch into ACTIVE; units are scheduled onto a
+pilot, staged, executed, and finish in one of the terminal states.  All
+transitions are checked against the legal-transition tables — the
+pipeline's correctness arguments (e.g. restart-on-failure) lean on the
+state machine never skipping states.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StateError(RuntimeError):
+    """An illegal state transition was attempted."""
+
+
+class PilotState(enum.Enum):
+    NEW = "NEW"
+    PENDING_LAUNCH = "PENDING_LAUNCH"
+    LAUNCHING = "LAUNCHING"
+    ACTIVE = "ACTIVE"
+    DONE = "DONE"
+    CANCELED = "CANCELED"
+    FAILED = "FAILED"
+
+
+class UnitState(enum.Enum):
+    NEW = "NEW"
+    UNSCHEDULED = "UNSCHEDULED"
+    SCHEDULING = "SCHEDULING"
+    PENDING_EXECUTION = "PENDING_EXECUTION"
+    EXECUTING = "EXECUTING"
+    DONE = "DONE"
+    CANCELED = "CANCELED"
+    FAILED = "FAILED"
+
+
+PILOT_TRANSITIONS: dict[PilotState, frozenset[PilotState]] = {
+    PilotState.NEW: frozenset({PilotState.PENDING_LAUNCH, PilotState.CANCELED}),
+    PilotState.PENDING_LAUNCH: frozenset(
+        {PilotState.LAUNCHING, PilotState.CANCELED, PilotState.FAILED}
+    ),
+    PilotState.LAUNCHING: frozenset(
+        {PilotState.ACTIVE, PilotState.CANCELED, PilotState.FAILED}
+    ),
+    PilotState.ACTIVE: frozenset(
+        {PilotState.DONE, PilotState.CANCELED, PilotState.FAILED}
+    ),
+    PilotState.DONE: frozenset(),
+    PilotState.CANCELED: frozenset(),
+    PilotState.FAILED: frozenset(),
+}
+
+UNIT_TRANSITIONS: dict[UnitState, frozenset[UnitState]] = {
+    UnitState.NEW: frozenset({UnitState.UNSCHEDULED, UnitState.CANCELED}),
+    UnitState.UNSCHEDULED: frozenset(
+        {UnitState.SCHEDULING, UnitState.CANCELED}
+    ),
+    UnitState.SCHEDULING: frozenset(
+        {UnitState.PENDING_EXECUTION, UnitState.CANCELED, UnitState.FAILED}
+    ),
+    UnitState.PENDING_EXECUTION: frozenset(
+        {UnitState.EXECUTING, UnitState.CANCELED, UnitState.FAILED}
+    ),
+    UnitState.EXECUTING: frozenset(
+        {UnitState.DONE, UnitState.CANCELED, UnitState.FAILED}
+    ),
+    UnitState.DONE: frozenset(),
+    UnitState.CANCELED: frozenset(),
+    # FAILED units may be rescheduled (restart support, §III.C): back to
+    # UNSCHEDULED is the one legal escape from a terminal state.
+    UnitState.FAILED: frozenset({UnitState.UNSCHEDULED}),
+}
+
+PILOT_FINAL = frozenset({PilotState.DONE, PilotState.CANCELED, PilotState.FAILED})
+UNIT_FINAL = frozenset({UnitState.DONE, UnitState.CANCELED, UnitState.FAILED})
+
+
+def check_pilot_transition(old: PilotState, new: PilotState) -> None:
+    if new not in PILOT_TRANSITIONS[old]:
+        raise StateError(f"illegal pilot transition {old.value} -> {new.value}")
+
+
+def check_unit_transition(old: UnitState, new: UnitState) -> None:
+    if new not in UNIT_TRANSITIONS[old]:
+        raise StateError(f"illegal unit transition {old.value} -> {new.value}")

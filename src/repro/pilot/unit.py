@@ -1,0 +1,73 @@
+"""The ComputeUnit entity: one schedulable task."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.parallel.usage import ResourceUsage
+from repro.pilot.db import StateStore
+from repro.pilot.description import UnitDescription
+from repro.pilot.states import UNIT_FINAL, UnitState, check_unit_transition
+
+_ids = itertools.count()
+
+
+@dataclass
+class ComputeUnit:
+    """A compute unit: description + state + execution record."""
+
+    description: UnitDescription
+    db: StateStore
+    unit_id: str = field(default_factory=lambda: f"unit.{next(_ids):06d}")
+    state: UnitState = UnitState.NEW
+    pilot_id: str | None = None
+    result: Any = None
+    usage: ResourceUsage | None = None
+    error: str | None = None
+    restarts: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def __post_init__(self) -> None:
+        self.db.register(
+            self.unit_id,
+            state=self.state.value,
+            name=self.description.name,
+            stage=self.description.stage,
+            cores=self.description.cores,
+        )
+
+    def advance(self, new: UnitState) -> None:
+        check_unit_transition(self.state, new)
+        self.state = new
+        self.db.update(self.unit_id, "state", new.value)
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in UNIT_FINAL
+
+    @property
+    def ttc(self) -> float:
+        """Virtual execution time (0 until finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    def assign(self, pilot_id: str) -> None:
+        self.pilot_id = pilot_id
+        self.db.update(self.unit_id, "pilot", pilot_id)
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.advance(UnitState.FAILED)
+        self.db.update(self.unit_id, "error", error)
+
+    def reset_for_restart(self) -> None:
+        """FAILED -> UNSCHEDULED (the restart path of §III.C)."""
+        self.advance(UnitState.UNSCHEDULED)
+        self.restarts += 1
+        self.pilot_id = None
+        self.error = None
+        self.db.update(self.unit_id, "restarts", self.restarts)

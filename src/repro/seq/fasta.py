@@ -1,0 +1,105 @@
+"""Minimal FASTA reader/writer.
+
+Records hold sequences as strings; conversion to code arrays is done at the
+point of use (``repro.seq.alphabet.encode``).  Both file-path and file-like
+inputs are accepted.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: ``>id description`` header plus sequence."""
+
+    id: str
+    seq: str
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    @property
+    def header(self) -> str:
+        return f"{self.id} {self.description}".rstrip()
+
+
+def _open_maybe(path_or_handle, mode: str) -> tuple[TextIO, bool]:
+    if isinstance(path_or_handle, (str, Path)):
+        return open(path_or_handle, mode), True
+    return path_or_handle, False
+
+
+def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
+    """Yield records from an open FASTA handle."""
+    header: str | None = None
+    chunks: list[str] = []
+    for line in handle:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield _make_record(header, chunks)
+            header = line[1:]
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("FASTA sequence data before first header")
+            chunks.append(line.strip())
+    if header is not None:
+        yield _make_record(header, chunks)
+
+
+def _make_record(header: str, chunks: list[str]) -> FastaRecord:
+    parts = header.split(None, 1)
+    rec_id = parts[0] if parts else ""
+    desc = parts[1] if len(parts) > 1 else ""
+    return FastaRecord(id=rec_id, seq="".join(chunks).upper(), description=desc)
+
+
+def read_fasta(path_or_handle) -> list[FastaRecord]:
+    """Read all records from a FASTA file or handle."""
+    handle, owned = _open_maybe(path_or_handle, "r")
+    try:
+        return list(parse_fasta(handle))
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fasta(
+    records: Iterable[FastaRecord],
+    path_or_handle,
+    width: int = 70,
+) -> int:
+    """Write records; returns the number written.  ``width=0`` disables wrapping."""
+    handle, owned = _open_maybe(path_or_handle, "w")
+    n = 0
+    try:
+        for rec in records:
+            handle.write(f">{rec.header}\n")
+            if width and width > 0:
+                for i in range(0, len(rec.seq), width):
+                    handle.write(rec.seq[i : i + width] + "\n")
+                if not rec.seq:
+                    handle.write("\n")
+            else:
+                handle.write(rec.seq + "\n")
+            n += 1
+    finally:
+        if owned:
+            handle.close()
+    return n
+
+
+def fasta_string(records: Iterable[FastaRecord], width: int = 70) -> str:
+    """Render records to a FASTA-formatted string."""
+    buf = io.StringIO()
+    write_fasta(records, buf, width=width)
+    return buf.getvalue()

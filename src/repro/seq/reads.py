@@ -1,0 +1,224 @@
+"""RNA-seq read simulation.
+
+Produces Illumina-like reads from a :class:`~repro.seq.transcriptome.Transcriptome`:
+
+* single-end or paired-end, fixed read length (50 bp GAII-style or 100 bp
+  HiSeq-style in the paper's two data sets),
+* substitution errors with a 3'-increasing error ramp and matching Phred
+  qualities,
+* uncalled bases (``N``) — these are what force Contrail to receive
+  *pre-processed* input in the paper's Fig. 3 experiment,
+* adapter read-through for fragments shorter than the read length,
+* PCR duplicates.
+
+Every read records its provenance (transcript, offset, strand) so tests can
+assert assembler correctness against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.seq import alphabet
+from repro.seq.alphabet import decode, encode
+from repro.seq.fastq import FastqRecord, phred_to_ascii
+from repro.seq.transcriptome import Transcriptome
+
+#: Canonical Illumina TruSeq-style adapter prefix used for read-through.
+ADAPTER = "AGATCGGAAGAGC"
+
+
+@dataclass(frozen=True)
+class ReadSimSpec:
+    """Parameters of a simulated sequencing run."""
+
+    read_length: int = 100
+    n_reads: int = 10_000
+    paired: bool = False
+    fragment_mean: int = 250
+    fragment_sd: int = 30
+    error_rate_start: float = 0.001
+    error_rate_end: float = 0.02
+    n_rate: float = 0.002
+    duplicate_fraction: float = 0.02
+    adapter_fraction: float = 0.01
+    platform: str = "Illumina HiSeq"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_length < 10:
+            raise ValueError("read_length must be >= 10")
+        if self.n_reads < 0:
+            raise ValueError("n_reads must be >= 0")
+        if self.paired and self.fragment_mean < self.read_length:
+            raise ValueError("paired runs need fragment_mean >= read_length")
+
+
+@dataclass(frozen=True)
+class ReadOrigin:
+    """Ground-truth provenance of one fragment.
+
+    The fragment is ``transcript[offset : offset + length]``, reverse
+    complemented when ``strand == -1``; read 1 sequences its 5' end.
+    """
+
+    transcript_index: int
+    offset: int
+    length: int
+    strand: int
+
+
+@dataclass
+class SequencingRun:
+    """The output of a simulated run: reads plus ground truth."""
+
+    spec: ReadSimSpec
+    reads: list[FastqRecord]
+    mates: list[FastqRecord] = field(default_factory=list)
+    origins: list[ReadOrigin] = field(default_factory=list)
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.reads)
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(r) for r in self.reads) + sum(len(r) for r in self.mates)
+
+    def all_reads(self) -> list[FastqRecord]:
+        """Reads and mates interleaved (mates after their read)."""
+        if not self.mates:
+            return list(self.reads)
+        out: list[FastqRecord] = []
+        for r1, r2 in zip(self.reads, self.mates):
+            out.append(r1)
+            out.append(r2)
+        return out
+
+
+class ReadSimulator:
+    """Samples fragments from a transcriptome and sequences them with errors."""
+
+    def __init__(self, transcriptome: Transcriptome, spec: ReadSimSpec) -> None:
+        if len(transcriptome) == 0:
+            raise ValueError("cannot sequence an empty transcriptome")
+        self.transcriptome = transcriptome
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+        self._weights = transcriptome.read_sampling_weights()
+        self._adapter_codes = encode(ADAPTER)
+        # Per-cycle error probability ramp (3' end is worse, like Illumina),
+        # with a sharp dip over the last ~6% of cycles (end-of-run chemistry
+        # decay) — the part quality trimming is meant to cut.
+        self._cycle_error = np.linspace(
+            spec.error_rate_start, spec.error_rate_end, spec.read_length
+        )
+        tail = max(1, int(round(0.06 * spec.read_length)))
+        self._cycle_error[-tail:] *= 5.0
+        self._cycle_phred = np.clip(
+            (-10.0 * np.log10(np.maximum(self._cycle_error, 1e-6))).astype(np.int16),
+            2,
+            41,
+        )
+
+    def run(self) -> SequencingRun:
+        """Simulate the full run described by the spec."""
+        spec = self.spec
+        rng = self._rng
+        n_unique = max(0, spec.n_reads - int(spec.n_reads * spec.duplicate_fraction))
+
+        reads: list[FastqRecord] = []
+        mates: list[FastqRecord] = []
+        origins: list[ReadOrigin] = []
+
+        t_idx = rng.choice(len(self.transcriptome.transcripts), size=n_unique, p=self._weights)
+        for i in range(n_unique):
+            origin, r1, r2 = self._sequence_fragment(int(t_idx[i]), i)
+            reads.append(r1)
+            origins.append(origin)
+            if spec.paired:
+                assert r2 is not None
+                mates.append(r2)
+
+        # PCR duplicates: re-emit existing records with new ids.
+        n_dup = spec.n_reads - n_unique
+        if n_unique > 0:
+            dup_of = rng.integers(0, n_unique, size=n_dup)
+            for j, src in enumerate(dup_of):
+                src = int(src)
+                reads.append(self._redup(reads[src], n_unique + j, "/1" if spec.paired else ""))
+                origins.append(origins[src])
+                if spec.paired:
+                    mates.append(self._redup(mates[src], n_unique + j, "/2"))
+
+        return SequencingRun(spec=spec, reads=reads, mates=mates, origins=origins)
+
+    # -- internals ---------------------------------------------------------
+
+    def _redup(self, rec: FastqRecord, index: int, suffix: str) -> FastqRecord:
+        return FastqRecord(id=f"read{index:08d}{suffix}", seq=rec.seq, qual=rec.qual)
+
+    def _sequence_fragment(
+        self, t_index: int, index: int
+    ) -> tuple[ReadOrigin, FastqRecord, FastqRecord | None]:
+        spec = self.spec
+        rng = self._rng
+        tx = self.transcriptome.transcripts[t_index]
+        tlen = len(tx)
+
+        frag_len = int(
+            np.clip(rng.normal(spec.fragment_mean, spec.fragment_sd), 30, max(30, tlen))
+        )
+        frag_len = min(frag_len, tlen)
+        offset = int(rng.integers(0, tlen - frag_len + 1))
+        strand = 1 if rng.random() < 0.5 else -1
+
+        fragment = tx.codes[offset : offset + frag_len]
+        if strand == -1:
+            fragment = alphabet.reverse_complement(fragment)
+
+        origin = ReadOrigin(
+            transcript_index=t_index, offset=offset, length=frag_len, strand=strand
+        )
+        r1 = self._read_from(fragment, f"read{index:08d}" + ("/1" if spec.paired else ""))
+        r2 = None
+        if spec.paired:
+            mate_frag = alphabet.reverse_complement(fragment)
+            r2 = self._read_from(mate_frag, f"read{index:08d}/2")
+        return origin, r1, r2
+
+    def _read_from(self, fragment: np.ndarray, read_id: str) -> FastqRecord:
+        """Sequence the first ``read_length`` cycles of a fragment."""
+        spec = self.spec
+        rng = self._rng
+        L = spec.read_length
+
+        if fragment.shape[0] >= L:
+            codes = fragment[:L].copy()
+        else:
+            # Read-through: fragment then adapter then random junk.
+            pieces = [fragment, self._adapter_codes]
+            need = L - fragment.shape[0] - self._adapter_codes.shape[0]
+            if need > 0:
+                pieces.append(alphabet.random_dna(need, rng))
+            codes = np.concatenate(pieces)[:L].copy()
+
+        # Substitution errors following the per-cycle ramp.
+        err_mask = rng.random(L) < self._cycle_error
+        if err_mask.any():
+            shift = rng.integers(1, 4, size=int(err_mask.sum())).astype(np.uint8)
+            originals = codes[err_mask]
+            substituted = np.where(originals < 4, (originals + shift) % 4, originals)
+            codes[err_mask] = substituted
+
+        # Uncalled bases.
+        n_mask = rng.random(L) < spec.n_rate
+        codes[n_mask] = alphabet.N
+
+        phred = self._cycle_phred.copy()
+        phred[n_mask] = 2
+        phred[err_mask] = np.minimum(phred[err_mask], 15)
+
+        return FastqRecord(id=read_id, seq=decode(codes), qual=phred_to_ascii(phred))

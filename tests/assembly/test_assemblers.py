@@ -1,0 +1,229 @@
+"""Integration tests across the five assemblers.
+
+The central correctness oracle: contigs must be (near-)substrings of the
+ground-truth transcripts the reads were simulated from.
+"""
+
+import pytest
+
+from repro.assembly.abyss import AbyssAssembler
+from repro.assembly.base import AssemblyParams
+from repro.assembly.contrail import ContrailAssembler, ContrailInputError
+from repro.assembly.ray import RayAssembler
+from repro.assembly.registry import (
+    ASSEMBLERS,
+    TABLE1_ASSEMBLERS,
+    get_assembler,
+)
+from repro.assembly.trinity import TrinityAssembler
+from repro.assembly.velvet import VelvetAssembler
+from repro.seq.alphabet import reverse_complement
+
+PARAMS = AssemblyParams(k=31, min_contig_length=100)
+
+
+def substring_fraction(contigs, transcripts) -> float:
+    """Fraction of contigs that are exact substrings of some transcript."""
+    if not contigs:
+        return 0.0
+    seqs = [t.seq for t in transcripts]
+    hits = 0
+    for c in contigs:
+        rc = reverse_complement(c.seq)
+        if any(c.seq in s or rc in s for s in seqs):
+            hits += 1
+    return hits / len(contigs)
+
+
+@pytest.fixture(scope="module")
+def velvet_result(reads_single):
+    return VelvetAssembler().assemble(reads_single, PARAMS)
+
+
+class TestVelvet:
+    def test_produces_contigs(self, velvet_result):
+        assert len(velvet_result.contigs) > 5
+        assert velvet_result.total_bp > 1000
+
+    def test_contigs_are_true_substrings(self, velvet_result, ds_single):
+        frac = substring_fraction(
+            velvet_result.contigs, ds_single.transcriptome.transcripts
+        )
+        assert frac > 0.9
+
+    def test_min_length_respected(self, velvet_result):
+        assert all(len(c) >= PARAMS.min_contig_length for c in velvet_result.contigs)
+
+    def test_usage_has_phases(self, velvet_result):
+        names = [p.name for p in velvet_result.usage.phases]
+        assert names == ["kmer_count", "graph_build", "unitig_walk"]
+        assert velvet_result.usage.peak_rank_memory_bytes > 0
+
+    def test_contig_ids_unique(self, velvet_result):
+        ids = [c.contig_id for c in velvet_result.contigs]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic(self, reads_single, velvet_result):
+        again = VelvetAssembler().assemble(reads_single, PARAMS)
+        assert [c.seq for c in again.contigs] == [
+            c.seq for c in velvet_result.contigs
+        ]
+
+
+class TestDistributedEquivalence:
+    """Ray and ABySS walk the same k-mer spectrum as the serial reference;
+    their contig sets must match it exactly (independent of rank count)."""
+
+    @pytest.mark.parametrize("n_ranks", [1, 3, 8])
+    def test_ray_matches_velvet(self, reads_single, velvet_result, n_ranks):
+        res = RayAssembler().assemble(reads_single, PARAMS, n_ranks=n_ranks)
+        assert sorted(c.seq for c in res.contigs) == sorted(
+            c.seq for c in velvet_result.contigs
+        )
+
+    @pytest.mark.parametrize("n_ranks", [1, 4])
+    def test_abyss_matches_velvet(self, reads_single, velvet_result, n_ranks):
+        res = AbyssAssembler().assemble(reads_single, PARAMS, n_ranks=n_ranks)
+        assert sorted(c.seq for c in res.contigs) == sorted(
+            c.seq for c in velvet_result.contigs
+        )
+
+
+class TestRayUsage:
+    def test_messages_grow_with_ranks(self, reads_single):
+        u2 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=2).usage
+        u8 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=8).usage
+        assert u8.n_messages > u2.n_messages
+
+    def test_comm_bytes_positive_multirank(self, reads_single):
+        u = RayAssembler().assemble(reads_single, PARAMS, n_ranks=4).usage
+        assert u.comm_bytes > 0
+
+    def test_single_rank_no_offnode_traffic(self, reads_single):
+        u = RayAssembler().assemble(reads_single, PARAMS, n_ranks=1).usage
+        assert u.comm_bytes == 0
+
+    def test_critical_path_shrinks_with_ranks(self, reads_single):
+        u1 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=1).usage
+        u8 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=8).usage
+        assert u8.critical_compute < u1.critical_compute
+
+    def test_memory_per_rank_shrinks(self, reads_single):
+        u1 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=1).usage
+        u8 = RayAssembler().assemble(reads_single, PARAMS, n_ranks=8).usage
+        assert u8.peak_rank_memory_bytes < u1.peak_rank_memory_bytes
+
+
+class TestAbyssUsage:
+    def test_serial_merge_constant_across_ranks(self, reads_single):
+        u2 = AbyssAssembler().assemble(reads_single, PARAMS, n_ranks=2).usage
+        u8 = AbyssAssembler().assemble(reads_single, PARAMS, n_ranks=8).usage
+        assert u2.serial_compute == pytest.approx(u8.serial_compute, rel=0.05)
+        assert u2.serial_compute > 0
+
+    def test_fewer_messages_than_ray(self, reads_single):
+        """ABySS aggregates probe traffic per round; Ray is fine-grained."""
+        ua = AbyssAssembler().assemble(reads_single, PARAMS, n_ranks=4).usage
+        ur = RayAssembler().assemble(reads_single, PARAMS, n_ranks=4).usage
+        assert 0 < ua.n_messages < ur.n_messages
+
+
+class TestContrail:
+    @pytest.fixture(scope="class")
+    def contrail_result(self, reads_single):
+        return ContrailAssembler().assemble(reads_single, PARAMS, n_ranks=4)
+
+    def test_produces_true_contigs(self, contrail_result, ds_single):
+        assert len(contrail_result.contigs) > 5
+        frac = substring_fraction(
+            contrail_result.contigs, ds_single.transcriptome.transcripts
+        )
+        assert frac > 0.9
+
+    def test_many_mr_jobs(self, contrail_result):
+        # count + pair/merge rounds: the Hadoop job-chain signature.
+        assert contrail_result.stats["mr_jobs"] >= 5
+        assert contrail_result.usage.n_jobs == contrail_result.stats["mr_jobs"]
+
+    def test_close_to_reference_assembly(self, contrail_result, velvet_result):
+        """Contrail's stricter junction rule may fragment slightly, but the
+        bulk of the assembly must agree with the serial reference."""
+        assert contrail_result.total_bp > 0.6 * velvet_result.total_bp
+
+    def test_fails_on_n_when_strict(self, reads_single):
+        assert any("N" in r.seq for r in reads_single)
+        with pytest.raises(ContrailInputError):
+            ContrailAssembler().assemble(
+                reads_single, PARAMS, n_ranks=2, fail_on_n=True
+            )
+
+    def test_worker_count_invariant_output(self, reads_single, contrail_result):
+        res2 = ContrailAssembler().assemble(reads_single, PARAMS, n_ranks=8)
+        assert sorted(c.seq for c in res2.contigs) == sorted(
+            c.seq for c in contrail_result.contigs
+        )
+
+
+class TestTrinity:
+    @pytest.fixture(scope="class")
+    def trinity_result(self, reads_single):
+        return TrinityAssembler().assemble(reads_single)
+
+    def test_produces_contigs(self, trinity_result):
+        assert len(trinity_result.contigs) > 5
+
+    def test_uses_its_own_k(self, trinity_result):
+        assert trinity_result.k == 25
+
+    def test_lower_precision_than_pipeline(
+        self, trinity_result, velvet_result, ds_single
+    ):
+        """Trinity keeps error branches -> more non-substring contigs."""
+        tx = ds_single.transcriptome.transcripts
+        assert substring_fraction(trinity_result.contigs, tx) <= substring_fraction(
+            velvet_result.contigs, tx
+        )
+
+    def test_prepare_reads_trims(self):
+        from repro.seq.fastq import FastqRecord
+
+        rec = FastqRecord("r", "ACGT" * 10, "I" * 36 + "!!!!")
+        out = TrinityAssembler().prepare_reads([rec])
+        assert len(out[0]) == 36
+
+
+class TestRegistry:
+    def test_table1_members(self):
+        assert TABLE1_ASSEMBLERS == ("ray", "abyss", "contrail")
+        for name in TABLE1_ASSEMBLERS:
+            info = ASSEMBLERS[name]
+            assert info.scalable
+            assert info.graph_type == "DBG"
+
+    def test_table1_impls(self):
+        assert ASSEMBLERS["ray"].distributed_impl == "MPI"
+        assert ASSEMBLERS["abyss"].distributed_impl == "MPI"
+        assert ASSEMBLERS["contrail"].distributed_impl == "Hadoop MapReduce"
+
+    def test_get_assembler(self):
+        assert get_assembler("velvet").name == "velvet"
+        assert get_assembler("ray").name == "ray"
+
+    def test_unknown_assembler(self):
+        with pytest.raises(KeyError):
+            get_assembler("soapdenovo")
+
+    def test_versions_recorded(self):
+        assert "2.3.1" in ASSEMBLERS["ray"].analog_of_version
+        assert "1.9.0" in ASSEMBLERS["abyss"].analog_of_version
+        assert "0.8.2" in ASSEMBLERS["contrail"].analog_of_version
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AssemblyParams(k=2)
+        with pytest.raises(ValueError):
+            AssemblyParams(k=31, min_count=0)
+        with pytest.raises(ValueError):
+            AssemblyParams(k=31, min_contig_length=10)

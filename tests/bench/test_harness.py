@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness (formatting and light helpers).
+
+The heavy pieces (bench data sets, calibration) are exercised by the
+benchmarks themselves; these tests cover the pure functions.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_PARAMS,
+    format_figure,
+    format_table,
+    machine_for,
+)
+from repro.parallel.costmodel import CostModel
+from repro.parallel.usage import PhaseUsage, ResourceUsage
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        out = format_table("T", ["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = out.split("\n")
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent width
+
+    def test_table_empty_rows(self):
+        out = format_table("T", ["col"], [])
+        assert "col" in out
+
+    def test_figure_grid(self):
+        out = format_figure(
+            "F", "x", {"s1": [(1, 10.0), (2, 20.0)], "s2": [(2, 5.0)]}
+        )
+        lines = out.split("\n")
+        assert "s1" in lines[1] and "s2" in lines[1]
+        # x=1 row has a dash for the missing s2 point
+        row1 = [l for l in lines if l.startswith("1")][0]
+        assert "-" in row1
+        row2 = [l for l in lines if l.startswith("2")][0]
+        assert "20" in row2 and "5" in row2
+
+
+class TestMachineFor:
+    def test_instance_attributes_carried(self):
+        m = machine_for("c3.2xlarge", 4)
+        assert m.n_nodes == 4
+        assert m.cores_per_node == 8
+        assert m.network_bandwidth > 0
+
+    def test_unknown_instance(self):
+        with pytest.raises(KeyError):
+            machine_for("z9.mega", 1)
+
+
+class TestBenchParams:
+    def test_datasets_registered(self):
+        assert set(BENCH_PARAMS) == {"B_glumae", "P_crispa"}
+        for scale, boost in BENCH_PARAMS.values():
+            assert 0 < scale < 0.1
+            assert 0 < boost <= 1.0
+
+
+class TestCalibrationMath:
+    def test_priced_parts_decomposition(self):
+        """fixed + rate-scaled parts must add to the total."""
+        from repro.bench.calibration import _priced_parts
+        from repro.bench.harness import machine_for
+
+        cm = CostModel()
+        u = ResourceUsage(n_ranks=16)
+        u.add_phase(
+            PhaseUsage("a", "kmer", critical_compute=1e6, comm_bytes=10**8,
+                       n_collectives=3, n_jobs=2)
+        )
+        machine = machine_for("c3.2xlarge", 2)
+        compute_s, fixed_s = _priced_parts(cm, u, machine)
+        assert compute_s > 0
+        assert fixed_s > 0
+        assert compute_s + fixed_s == pytest.approx(
+            cm.task_seconds(u, machine)
+        )
+
+    def test_table3_targets(self):
+        from repro.bench.calibration import TABLE3_TARGETS
+
+        assert TABLE3_TARGETS == {
+            "ray": 1721.0, "abyss": 882.0, "contrail": 6720.0,
+        }

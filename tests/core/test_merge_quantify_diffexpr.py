@@ -1,0 +1,194 @@
+"""Tests for contig merging, quantification and differential expression."""
+
+import numpy as np
+import pytest
+
+from repro.assembly.contigs import Contig
+from repro.core.diffexpr import differential_expression
+from repro.core.merge import merge_contigs
+from repro.core.quantify import quantify
+from repro.seq.alphabet import decode, random_dna, reverse_complement
+from repro.seq.fastq import FastqRecord
+
+
+def contig(seq, cid="c", cov=10.0):
+    return Contig(cid, seq, cov, 31, "test")
+
+
+def random_seq(length, seed):
+    return decode(random_dna(length, np.random.default_rng(seed)))
+
+
+class TestMerge:
+    def test_containment_removed(self):
+        long = random_seq(400, 1)
+        short = long[100:250]
+        res = merge_contigs([[contig(long, "a"), contig(short, "b")]])
+        assert res.output_contigs == 1
+        assert res.contained_removed == 1
+        assert res.transcripts[0].seq == long
+
+    def test_revcomp_containment_removed(self):
+        long = random_seq(400, 2)
+        short = reverse_complement(long[100:250])
+        res = merge_contigs([[contig(long, "a"), contig(short, "b")]])
+        assert res.output_contigs == 1
+
+    def test_overlap_joined(self):
+        full = random_seq(500, 3)
+        a, b = full[:300], full[260:]  # 40 bp exact overlap
+        res = merge_contigs([[contig(a, "a"), contig(b, "b")]])
+        assert res.joins == 1
+        assert res.output_contigs == 1
+        assert res.transcripts[0].seq == full
+
+    def test_disjoint_contigs_kept(self):
+        res = merge_contigs(
+            [[contig(random_seq(300, 4), "a"), contig(random_seq(300, 5), "b")]]
+        )
+        assert res.output_contigs == 2
+        assert res.joins == 0
+
+    def test_multi_set_merge(self):
+        full = random_seq(500, 6)
+        set1 = [contig(full[:300], "k35")]
+        set2 = [contig(full[260:], "k41"), contig(full[50:200], "k41b")]
+        res = merge_contigs([set1, set2])
+        assert res.input_contigs == 3
+        assert res.output_contigs == 1
+        assert res.transcripts[0].seq == full
+
+    def test_empty(self):
+        res = merge_contigs([])
+        assert res.output_contigs == 0
+        res2 = merge_contigs([[], []])
+        assert res2.output_contigs == 0
+
+    def test_min_overlap_validation(self):
+        with pytest.raises(ValueError):
+            merge_contigs([[]], min_overlap=10)
+
+    def test_usage_is_serial(self):
+        res = merge_contigs([[contig(random_seq(300, 7))]])
+        assert res.usage.serial_compute > 0
+
+    def test_output_sorted_longest_first(self):
+        res = merge_contigs(
+            [[contig(random_seq(200, 8), "s"), contig(random_seq(400, 9), "l")]]
+        )
+        lengths = [len(t) for t in res.transcripts]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_merge_idempotent(self):
+        """Merging the merge output changes nothing further."""
+        full = random_seq(500, 10)
+        first = merge_contigs(
+            [[contig(full[:300], "a"), contig(full[260:], "b")]]
+        )
+        second = merge_contigs([first.transcripts])
+        assert [t.seq for t in second.transcripts] == [
+            t.seq for t in first.transcripts
+        ]
+
+
+class TestQuantify:
+    def make_reads(self, seq, n, rid_prefix, L=50):
+        rng = np.random.default_rng(42)
+        out = []
+        for i in range(n):
+            start = int(rng.integers(0, len(seq) - L + 1))
+            out.append(
+                FastqRecord(f"{rid_prefix}{i}", seq[start : start + L], "I" * L)
+            )
+        return out
+
+    def test_counts_proportional_to_reads(self):
+        t1, t2 = random_seq(500, 11), random_seq(500, 12)
+        reads = self.make_reads(t1, 90, "a") + self.make_reads(t2, 10, "b")
+        res = quantify(reads, [contig(t1, "t1"), contig(t2, "t2")])
+        assert res.assignment_rate > 0.95
+        assert res.counts[0] > 5 * res.counts[1]
+
+    def test_tpm_normalized(self):
+        t1, t2 = random_seq(500, 13), random_seq(500, 14)
+        reads = self.make_reads(t1, 50, "a") + self.make_reads(t2, 50, "b")
+        res = quantify(reads, [contig(t1, "t1"), contig(t2, "t2")])
+        assert res.tpm.sum() == pytest.approx(1e6)
+
+    def test_reverse_strand_reads_assigned(self):
+        t1 = random_seq(500, 15)
+        reads = [
+            FastqRecord("r", reverse_complement(t1[100:150]), "I" * 50)
+        ]
+        res = quantify(reads, [contig(t1, "t1")])
+        assert res.assigned_reads == 1
+
+    def test_unrelated_reads_unassigned(self):
+        t1 = random_seq(500, 16)
+        junk = self.make_reads(random_seq(500, 17), 10, "j")
+        res = quantify(junk, [contig(t1, "t1")])
+        assert res.unassigned_reads == 10
+
+    def test_no_transcripts_rejected(self):
+        with pytest.raises(ValueError):
+            quantify([], [])
+
+    def test_table(self):
+        t1 = random_seq(300, 18)
+        res = quantify(self.make_reads(t1, 5, "a"), [contig(t1, "t1")])
+        table = res.as_table()
+        assert table[0][0] == "t1"
+        assert table[0][1] == 5
+
+
+class TestDiffExpr:
+    def test_obvious_de_detected(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        a = rng.poisson(100, n)
+        b = rng.poisson(100, n)
+        a[0], b[0] = 1000, 50  # strongly DE transcript
+        res = differential_expression([f"t{i}" for i in range(n)], a, b)
+        row = res.rows[0]
+        assert row.significant
+        assert row.log2_fold_change > 2
+
+    def test_null_mostly_insignificant(self):
+        rng = np.random.default_rng(1)
+        n = 100
+        a = rng.poisson(50, n)
+        b = rng.poisson(50, n)
+        res = differential_expression([f"t{i}" for i in range(n)], a, b)
+        assert res.n_significant <= 5  # BH at alpha=0.05 under the null
+
+    def test_library_size_correction(self):
+        """2x library depth alone must not look like DE."""
+        n = 60
+        a = np.full(n, 200)
+        b = np.full(n, 100)
+        res = differential_expression([f"t{i}" for i in range(n)], a, b)
+        assert res.n_significant == 0
+        assert all(abs(r.log2_fold_change) < 0.1 for r in res.rows)
+
+    def test_zero_counts_handled(self):
+        res = differential_expression(["t0"], np.array([0]), np.array([0]))
+        assert res.rows[0].p_value == 1.0
+        assert not res.rows[0].significant
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            differential_expression(["a"], np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            differential_expression(["a"], np.array([-1]), np.array([1]))
+        with pytest.raises(ValueError):
+            differential_expression(["a"], np.array([1]), np.array([1]), alpha=2)
+
+    def test_significant_rows_accessor(self):
+        # Many flat transcripts keep library sizes comparable so the DE
+        # transcript stands out after normalization.
+        ids = ["up"] + [f"flat{i}" for i in range(20)]
+        a = np.array([1000] + [100] * 20)
+        b = np.array([10] + [100] * 20)
+        res = differential_expression(ids, a, b)
+        sig = res.significant_rows()
+        assert "up" in [r.transcript_id for r in sig]

@@ -1,0 +1,149 @@
+"""End-to-end pipeline integration tests."""
+
+import pytest
+
+from repro.core.rnnotator import (
+    PipelineConfig,
+    PipelineError,
+    PipelineResult,
+    RnnotatorPipeline,
+)
+from repro.core.schemes import MatchingScheme
+from repro.core.workflow import WorkflowPattern
+from repro.evaluation.detonate import evaluate
+
+
+@pytest.fixture(scope="module")
+def s2_result(ds_single) -> PipelineResult:
+    return RnnotatorPipeline().run(
+        ds_single,
+        PipelineConfig(assemblers=("ray",), kmer_list=(35, 41)),
+    )
+
+
+class TestEndToEnd:
+    def test_all_stages_present(self, s2_result):
+        names = [s.name for s in s2_result.stages]
+        assert names == [
+            "stage-in", "pre-processing", "transcript-assembly",
+            "post-processing", "quantification",
+        ]
+
+    def test_monotone_stage_times(self, s2_result):
+        for a, b in zip(s2_result.stages, s2_result.stages[1:]):
+            assert b.started_at >= a.finished_at - 1e-6
+
+    def test_produces_transcripts(self, s2_result, ds_single):
+        assert len(s2_result.transcripts) > 5
+        scores = evaluate(s2_result.transcripts, ds_single.transcriptome)
+        assert scores.precision > 0.9
+
+    def test_assemblies_keyed_by_job(self, s2_result):
+        assert set(s2_result.assemblies) == {("ray", 35), ("ray", 41)}
+
+    def test_cost_positive_and_ttc_consistent(self, s2_result):
+        assert s2_result.total_cost > 0
+        assert s2_result.total_ttc >= sum(
+            0.0 for _ in s2_result.stages
+        )
+        assert s2_result.total_ttc >= s2_result.stages[-1].finished_at - 1e-6
+
+    def test_quantification_ran(self, s2_result):
+        assert s2_result.quantification.assigned_reads > 0
+
+    def test_summary_text(self, s2_result):
+        text = s2_result.summary()
+        assert "TOTAL" in text and "USD" in text
+
+    def test_stage_ttc_accessor(self, s2_result):
+        assert s2_result.stage_ttc("transcript-assembly") > 0
+        with pytest.raises(KeyError):
+            s2_result.stage_ttc("nonexistent")
+
+
+class TestSchemesComparison:
+    def test_s1_pays_transfer_and_reprovisioning(self, ds_single):
+        cfg = dict(assemblers=("ray",), kmer_list=(35,))
+        s2 = RnnotatorPipeline().run(
+            ds_single, PipelineConfig(scheme=MatchingScheme.S2, **cfg)
+        )
+        s1 = RnnotatorPipeline().run(
+            ds_single, PipelineConfig(scheme=MatchingScheme.S1, **cfg)
+        )
+        assert s1.transfer_seconds > s2.transfer_seconds
+        assert s1.total_ttc > s2.total_ttc
+        # identical functional output
+        assert [t.seq for t in s1.transcripts] == [
+            t.seq for t in s2.transcripts
+        ]
+
+    def test_conventional_requires_s2(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(
+                workflow=WorkflowPattern.CONVENTIONAL,
+                scheme=MatchingScheme.S1,
+            )
+
+
+class TestDynamicVsStatic:
+    def test_dynamic_picks_instance_by_memory(self, ds_paired):
+        """The paired (P. crispa-like) spec declares a 40 GB preprocessing
+        footprint: the dynamic workflow must select r3.2xlarge."""
+        res = RnnotatorPipeline().run(
+            ds_paired,
+            PipelineConfig(
+                assemblers=("ray",), kmer_list=(51,),
+                workflow=WorkflowPattern.DISTRIBUTED_DYNAMIC,
+            ),
+        )
+        assert res.stages[1].instance_type == "r3.2xlarge"
+
+    def test_static_on_small_instance_fails(self, ds_paired):
+        """A static workflow pinned to c3.2xlarge OOMs in pre-processing —
+        the failure mode the paper's dynamic scheme avoids."""
+        with pytest.raises(PipelineError, match="pre-processing failed"):
+            RnnotatorPipeline().run(
+                ds_paired,
+                PipelineConfig(
+                    assemblers=("ray",), kmer_list=(51,),
+                    workflow=WorkflowPattern.DISTRIBUTED_STATIC,
+                    instance_type="c3.2xlarge",
+                ),
+            )
+
+    def test_explicit_instance_respected(self, ds_single):
+        res = RnnotatorPipeline().run(
+            ds_single,
+            PipelineConfig(
+                assemblers=("ray",), kmer_list=(35,),
+                instance_type="r3.2xlarge",
+            ),
+        )
+        assert all(
+            s.instance_type == "r3.2xlarge"
+            for s in res.stages
+            if s.instance_type != "-"
+        )
+
+
+class TestMultiAssembler:
+    def test_mamp_run(self, ds_single):
+        res = RnnotatorPipeline().run(
+            ds_single,
+            PipelineConfig(
+                assemblers=("ray", "abyss", "contrail"),
+                kmer_list=(35, 41),
+                contrail_nodes_per_job=4,
+            ),
+        )
+        assert len(res.assemblies) == 6
+        assert res.plan.n_jobs == 6
+        assert len(res.transcripts) > 5
+
+    def test_data_dependent_kmer_list(self, ds_single):
+        res = RnnotatorPipeline().run(
+            ds_single, PipelineConfig(assemblers=("ray",))
+        )
+        # 50 bp reads, post-trim modal length ~47 -> 35..47 step 2
+        assert res.kmer_list[0] == 35
+        assert len(res.kmer_list) >= 5

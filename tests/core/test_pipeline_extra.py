@@ -1,0 +1,88 @@
+"""Extra end-to-end pipeline paths: S1 on paired data, Contrail in the
+pipeline, dedicated k-mer-count accounting, quantification consistency."""
+
+import pytest
+
+from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.core.schemes import MatchingScheme
+from repro.core.workflow import WorkflowPattern
+from repro.pilot.states import UnitState
+
+
+class TestPairedS1Dynamic:
+    @pytest.fixture(scope="class")
+    def result(self, ds_paired):
+        return RnnotatorPipeline().run(
+            ds_paired,
+            PipelineConfig(
+                assemblers=("abyss",),
+                kmer_list=(51, 55),
+                scheme=MatchingScheme.S1,
+                workflow=WorkflowPattern.DISTRIBUTED_DYNAMIC,
+            ),
+        )
+
+    def test_runs_to_completion(self, result):
+        assert len(result.transcripts) > 0
+        assert result.total_cost > 0
+
+    def test_dynamic_chose_r3_for_paired_footprint(self, result):
+        assert result.stages[1].instance_type == "r3.2xlarge"
+
+    def test_s1_transfers_between_pilots(self, result):
+        # WAN upload + P_A->P_B staging + P_B->P_C staging
+        assert result.transfer_seconds > result.stages[0].ttc
+
+    def test_kmer_list_override_respected(self, result):
+        assert result.kmer_list == (51, 55)
+        assert set(k for _, k in result.assemblies) == {51, 55}
+
+
+class TestContrailInPipeline:
+    def test_contrail_only_pipeline(self, ds_single):
+        result = RnnotatorPipeline().run(
+            ds_single,
+            PipelineConfig(
+                assemblers=("contrail",),
+                kmer_list=(35,),
+                contrail_nodes_per_job=2,
+            ),
+        )
+        assert ("contrail", 35) in result.assemblies
+        # MapReduce job chain ran (many jobs, priced with overhead).
+        assert result.assemblies[("contrail", 35)].stats["mr_jobs"] >= 5
+        assert len(result.transcripts) > 0
+
+    def test_contrail_gets_preprocessed_reads(self, ds_single):
+        """The pipeline feeds Contrail pre-processed (N-free) reads, so
+        the N-failure cannot trigger inside the pipeline."""
+        result = RnnotatorPipeline().run(
+            ds_single,
+            PipelineConfig(assemblers=("contrail",), kmer_list=(35,),
+                           contrail_nodes_per_job=2),
+        )
+        assert all("N" not in r.seq for r in result.preprocess.reads)
+
+
+class TestQuantificationConsistency:
+    def test_assigned_leq_input(self, ds_single):
+        result = RnnotatorPipeline().run(
+            ds_single, PipelineConfig(assemblers=("ray",), kmer_list=(35,))
+        )
+        q = result.quantification
+        assert q.assigned_reads + q.unassigned_reads == len(
+            result.preprocess.reads
+        )
+        assert q.counts.sum() == q.assigned_reads
+        if q.counts.sum() > 0:
+            assert q.tpm.sum() == pytest.approx(1e6)
+
+    def test_merge_reduces_multi_k_redundancy(self, ds_single):
+        result = RnnotatorPipeline().run(
+            ds_single,
+            PipelineConfig(assemblers=("ray",), kmer_list=(35, 37, 39)),
+        )
+        total_in = sum(len(r.contigs) for r in result.assemblies.values())
+        assert result.merge.input_contigs == total_in
+        # multi-k assemblies of the same loci collapse substantially
+        assert result.merge.output_contigs < total_in

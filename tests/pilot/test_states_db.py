@@ -1,0 +1,153 @@
+"""Tests for the state machines and the backend state store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud.clock import SimClock
+from repro.pilot.db import StateStore
+from repro.pilot.states import (
+    PILOT_FINAL,
+    PILOT_TRANSITIONS,
+    UNIT_FINAL,
+    UNIT_TRANSITIONS,
+    PilotState,
+    StateError,
+    UnitState,
+    check_pilot_transition,
+    check_unit_transition,
+)
+
+
+class TestPilotStates:
+    def test_happy_path(self):
+        path = [
+            PilotState.NEW,
+            PilotState.PENDING_LAUNCH,
+            PilotState.LAUNCHING,
+            PilotState.ACTIVE,
+            PilotState.DONE,
+        ]
+        for a, b in zip(path, path[1:]):
+            check_pilot_transition(a, b)
+
+    def test_skip_rejected(self):
+        with pytest.raises(StateError):
+            check_pilot_transition(PilotState.NEW, PilotState.ACTIVE)
+
+    def test_final_states_absorbing(self):
+        for s in PILOT_FINAL:
+            assert PILOT_TRANSITIONS[s] == frozenset()
+
+    def test_cancel_from_anywhere_live(self):
+        for s in (
+            PilotState.NEW,
+            PilotState.PENDING_LAUNCH,
+            PilotState.LAUNCHING,
+            PilotState.ACTIVE,
+        ):
+            check_pilot_transition(s, PilotState.CANCELED)
+
+    @given(st.sampled_from(list(PilotState)), st.sampled_from(list(PilotState)))
+    def test_table_is_authoritative(self, a, b):
+        legal = b in PILOT_TRANSITIONS[a]
+        if legal:
+            check_pilot_transition(a, b)
+        else:
+            with pytest.raises(StateError):
+                check_pilot_transition(a, b)
+
+
+class TestUnitStates:
+    def test_happy_path(self):
+        path = [
+            UnitState.NEW,
+            UnitState.UNSCHEDULED,
+            UnitState.SCHEDULING,
+            UnitState.PENDING_EXECUTION,
+            UnitState.EXECUTING,
+            UnitState.DONE,
+        ]
+        for a, b in zip(path, path[1:]):
+            check_unit_transition(a, b)
+
+    def test_failed_can_restart(self):
+        check_unit_transition(UnitState.FAILED, UnitState.UNSCHEDULED)
+
+    def test_done_absorbing(self):
+        assert UNIT_TRANSITIONS[UnitState.DONE] == frozenset()
+        assert UNIT_TRANSITIONS[UnitState.CANCELED] == frozenset()
+
+    def test_skip_rejected(self):
+        with pytest.raises(StateError):
+            check_unit_transition(UnitState.NEW, UnitState.EXECUTING)
+
+    @given(st.sampled_from(list(UnitState)), st.sampled_from(list(UnitState)))
+    def test_table_is_authoritative(self, a, b):
+        legal = b in UNIT_TRANSITIONS[a]
+        if legal:
+            check_unit_transition(a, b)
+        else:
+            with pytest.raises(StateError):
+                check_unit_transition(a, b)
+
+
+class TestStateStore:
+    def make(self):
+        return StateStore(SimClock())
+
+    def test_register_and_get(self):
+        db = self.make()
+        db.register("e1", state="NEW", name="thing")
+        assert db.get("e1", "state") == "NEW"
+        assert db.get("e1", "name") == "thing"
+        assert db.get("e1", "missing", 42) == 42
+
+    def test_double_register_rejected(self):
+        db = self.make()
+        db.register("e1")
+        with pytest.raises(KeyError):
+            db.register("e1")
+
+    def test_update_unknown_rejected(self):
+        db = self.make()
+        with pytest.raises(KeyError):
+            db.update("nope", "state", 1)
+
+    def test_history_with_timestamps(self):
+        clock = SimClock()
+        db = StateStore(clock)
+        db.register("e1", state="NEW")
+        clock.advance(10)
+        db.update("e1", "state", "ACTIVE")
+        hist = db.history_of("e1", "state")
+        assert [(r.value, r.timestamp) for r in hist] == [
+            ("NEW", 0.0),
+            ("ACTIVE", 10.0),
+        ]
+
+    def test_watchers_fire(self):
+        db = self.make()
+        seen = []
+        db.watch(lambda e, f, v: seen.append((e, f, v)))
+        db.register("e1", state="NEW")
+        db.update("e1", "state", "GO")
+        assert ("e1", "state", "NEW") in seen
+        assert ("e1", "state", "GO") in seen
+
+    def test_unsubscribe(self):
+        db = self.make()
+        seen = []
+        unsub = db.watch(lambda e, f, v: seen.append(v))
+        db.register("e1", x=1)
+        unsub()
+        db.update("e1", "x", 2)
+        assert seen == [1]
+
+    def test_timeline(self):
+        db = self.make()
+        db.register("a", state="NEW")
+        db.register("b", state="NEW")
+        db.update("a", "state", "DONE")
+        tl = db.timeline("state")
+        assert [v for _, _, v in tl] == ["NEW", "NEW", "DONE"]
