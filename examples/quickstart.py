@@ -25,10 +25,15 @@ def main() -> None:
 
     # 2. Configure and run the pipeline.  With kmer_list=None the k list
     #    is chosen from the post-trim read length, as in the paper.
+    #    executor= picks the workload backend for the assembly fan-out:
+    #    "process" runs the real assemblies over the host's cores
+    #    ("serial" and "thread" also available; virtual TTCs and results
+    #    are identical across backends).
     config = PipelineConfig(
         assemblers=("ray",),
         scheme=MatchingScheme.S2,
         kmer_list=(35, 41, 47),
+        executor="process",
     )
     result = RnnotatorPipeline().run(dataset, config)
 

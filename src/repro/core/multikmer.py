@@ -14,12 +14,49 @@ from repro.assembly.base import AssemblyParams
 from repro.assembly.contigs import AssemblyResult
 from repro.assembly.registry import get_assembler
 from repro.cloud.instances import get_instance_type
-from repro.core.scaling import paper_usage
+from repro.core.scaling import paper_usage_from_scales
 from repro.core.memory import task_memory_bytes
 from repro.core.planner import AssemblyPlan
 from repro.pilot.description import UnitDescription
 from repro.seq.datasets import DatasetSpec
 from repro.seq.fastq import FastqRecord
+
+#: Assemblers taking an ``n_ranks`` argument (distributed implementations).
+DISTRIBUTED_ASSEMBLERS = frozenset({"ray", "abyss", "contrail"})
+
+
+@dataclass(frozen=True)
+class AssemblyWorkload:
+    """One real assembly as a picklable workload callable.
+
+    A module-level dataclass (rather than a nested closure) so the
+    process-pool executor backend can ship it to a worker and pickle the
+    ``(AssemblyResult, ResourceUsage)`` outcome back.  When the scale
+    ratios are set, the measured usage is extrapolated to paper scale
+    with the per-phase factors of :mod:`repro.core.scaling` (the unit is
+    then submitted with ``scale=1``).
+    """
+
+    assembler_name: str
+    reads: tuple[FastqRecord, ...]
+    params: AssemblyParams
+    n_ranks: int
+    read_scale: float | None = None
+    graph_scale: float | None = None
+
+    def __call__(self):
+        assembler = get_assembler(self.assembler_name)
+        reads = list(self.reads)
+        if self.assembler_name in DISTRIBUTED_ASSEMBLERS:
+            result = assembler.assemble(reads, self.params, n_ranks=self.n_ranks)
+        else:
+            result = assembler.assemble(reads, self.params)
+        usage = result.usage
+        if self.read_scale is not None and self.graph_scale is not None:
+            usage = paper_usage_from_scales(
+                usage, self.read_scale, self.graph_scale
+            )
+        return result, usage
 
 
 def make_assembly_workload(
@@ -28,25 +65,20 @@ def make_assembly_workload(
     params: AssemblyParams,
     n_ranks: int,
     dataset=None,
-):
-    """Closure executing one real assembly; returns (result, usage).
+) -> AssemblyWorkload:
+    """Workload executing one real assembly; returns (result, usage).
 
-    When ``dataset`` is given the usage is extrapolated to paper scale
-    with the per-phase factors of :mod:`repro.core.scaling` (the unit is
-    then submitted with ``scale=1``)."""
+    When ``dataset`` is given, only its two extrapolation ratios are
+    captured — the workload stays cheap to pickle."""
 
-    def work():
-        assembler = get_assembler(assembler_name)
-        if assembler_name in ("ray", "abyss", "contrail"):
-            result = assembler.assemble(reads, params, n_ranks=n_ranks)
-        else:
-            result = assembler.assemble(reads, params)
-        usage = result.usage if dataset is None else paper_usage(
-            result.usage, dataset
-        )
-        return result, usage
-
-    return work
+    return AssemblyWorkload(
+        assembler_name=assembler_name,
+        reads=tuple(reads),
+        params=params,
+        n_ranks=n_ranks,
+        read_scale=None if dataset is None else dataset.read_scale,
+        graph_scale=None if dataset is None else dataset.scale,
+    )
 
 
 def assembly_unit_descriptions(

@@ -10,6 +10,7 @@ per-stage TTC and the run's dollar cost exactly like §IV.C's sample run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.assembly.contigs import AssemblyResult, Contig
@@ -27,6 +28,7 @@ from repro.core.quantify import QuantificationResult, quantify
 from repro.core.schemes import MatchingScheme
 from repro.core.workflow import StageReport, WorkflowPattern
 from repro.parallel.costmodel import CostModel
+from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
 from repro.pilot.manager import PilotManager, UnitManager
@@ -54,6 +56,12 @@ class PipelineConfig:
     min_contig_length: int = 100
     kmer_list: tuple[int, ...] | None = None  # None -> data-dependent
     preprocess_params: PreprocessParams = field(default_factory=PreprocessParams)
+    #: Workload-execution backend for the assembly fan-out: "serial",
+    #: "thread", "process", or a WorkloadExecutor instance.  The single-
+    #: unit stages (pre/post-processing, quantification) always run
+    #: serially: their workloads are closures over pipeline state.
+    executor: str | WorkloadExecutor = "serial"
+    executor_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.assemblers:
@@ -62,6 +70,8 @@ class PipelineConfig:
             self.scheme is not MatchingScheme.S2
         ):
             raise ValueError("the conventional pattern implies VM reuse (S2)")
+        if isinstance(self.executor, str):
+            make_executor(self.executor)  # validate the name early
 
 
 @dataclass
@@ -106,6 +116,9 @@ class PipelineResult:
             f"TOTAL: {self.total_ttc:.0f} s "
             f"({self.total_ttc / 3600:.2f} h), cost {self.total_cost:.2f} USD"
         )
+        real = sum(s.real_seconds for s in self.stages)
+        if real:
+            lines.append(f"real host time across stages: {real:.2f} s")
         return "\n".join(lines)
 
 
@@ -170,14 +183,13 @@ class RnnotatorPipeline:
         um.add_pilot(pa)
 
         all_reads = dataset.run.all_reads()
-        pre_holder: dict[str, PreprocessResult] = {}
 
         def pre_work():
             result = preprocess(all_reads, config.preprocess_params)
-            pre_holder["result"] = result
             return result, result.usage
 
         t0 = clock.now
+        w0 = time.perf_counter()
         (pre_unit,) = um.submit_units(
             [
                 UnitDescription(
@@ -204,7 +216,7 @@ class RnnotatorPipeline:
                 f"pre-processing failed on {pa_itype}: {pre_unit.error} "
                 "(a dynamic workflow would have chosen a larger instance)"
             )
-        pre: PreprocessResult = pre_holder["result"]
+        pre: PreprocessResult = pre_unit.result
         stages.append(
             StageReport(
                 name="pre-processing",
@@ -214,6 +226,7 @@ class RnnotatorPipeline:
                 n_nodes=1,
                 instance_type=pa_itype,
                 notes=f"{pre.output_reads}/{pre.input_reads} reads kept",
+                real_seconds=time.perf_counter() - w0,
             )
         )
 
@@ -247,8 +260,16 @@ class RnnotatorPipeline:
                 spec.preprocessed_bytes, src="P_A", dst="P_B"
             )
 
+        # The assembly fan-out is where task-level parallelism lives: its
+        # workloads are picklable AssemblyWorkload callables, so any
+        # executor backend (thread/process pool) can spread them over
+        # the host's cores.
         umb = UnitManager(
-            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+            db,
+            events,
+            scheduler=MemoryAwareScheduler(),
+            cost_model=self.cost_model,
+            executor=make_executor(config.executor, config.executor_workers),
         )
         umb.add_pilot(pb)
         descs = multikmer.assembly_unit_descriptions(
@@ -260,8 +281,13 @@ class RnnotatorPipeline:
             min_contig_length=config.min_contig_length,
         )
         t0 = clock.now
+        w0 = time.perf_counter()
         units = umb.submit_units(descs)
-        umb.run(units)
+        try:
+            umb.run(units)
+        finally:
+            if isinstance(config.executor, str):
+                umb.close()  # the pipeline owns backends it created
         failed = [u for u in units if u.state is not UnitState.DONE]
         if failed:
             raise PipelineError(
@@ -279,6 +305,7 @@ class RnnotatorPipeline:
                 instance_type=pb_itype,
                 notes=f"{plan.n_jobs} jobs "
                 f"({'+'.join(config.assemblers)}, k={list(kmer_list)})",
+                real_seconds=time.perf_counter() - w0,
             )
         )
 
@@ -303,16 +330,14 @@ class RnnotatorPipeline:
         )
         umc.add_pilot(pc)
 
-        merge_holder: dict[str, MergeResult] = {}
-
         def merge_work():
             result = merge_contigs(
                 [r.contigs for r in assemblies.values()]
             )
-            merge_holder["result"] = result
             return result, result.usage
 
         t0 = clock.now
+        w0 = time.perf_counter()
         (merge_unit,) = umc.submit_units(
             [
                 UnitDescription(
@@ -328,7 +353,7 @@ class RnnotatorPipeline:
         umc.run([merge_unit])
         if merge_unit.state is not UnitState.DONE:
             raise PipelineError(f"post-processing failed: {merge_unit.error}")
-        merged: MergeResult = merge_holder["result"]
+        merged: MergeResult = merge_unit.result
         stages.append(
             StageReport(
                 name="post-processing",
@@ -338,17 +363,16 @@ class RnnotatorPipeline:
                 n_nodes=1,
                 instance_type=pc_itype,
                 notes=f"{merged.input_contigs} -> {merged.output_contigs} contigs",
+                real_seconds=time.perf_counter() - w0,
             )
         )
 
-        quant_holder: dict[str, QuantificationResult] = {}
-
         def quant_work():
             result = quantify(pre.reads, merged.transcripts)
-            quant_holder["result"] = result
             return result, result.usage
 
         t0 = clock.now
+        w0 = time.perf_counter()
         (quant_unit,) = umc.submit_units(
             [
                 UnitDescription(
@@ -364,6 +388,7 @@ class RnnotatorPipeline:
         umc.run([quant_unit])
         if quant_unit.state is not UnitState.DONE:
             raise PipelineError(f"quantification failed: {quant_unit.error}")
+        quantification: QuantificationResult = quant_unit.result
         stages.append(
             StageReport(
                 name="quantification",
@@ -372,7 +397,8 @@ class RnnotatorPipeline:
                 finished_at=clock.now,
                 n_nodes=1,
                 instance_type=pc_itype,
-                notes=f"{quant_holder['result'].assignment_rate:.0%} reads assigned",
+                notes=f"{quantification.assignment_rate:.0%} reads assigned",
+                real_seconds=time.perf_counter() - w0,
             )
         )
 
@@ -388,7 +414,7 @@ class RnnotatorPipeline:
             plan=plan,
             assemblies=assemblies,
             merge=merged,
-            quantification=quant_holder["result"],
+            quantification=quantification,
             total_ttc=clock.now,
             total_cost=region.total_cost,
             transfer_seconds=transfers.total_seconds,

@@ -36,10 +36,18 @@ def phase_is_graph_bound(phase: PhaseUsage) -> bool:
     return False
 
 
-def paper_usage(usage: ResourceUsage, dataset: Dataset) -> ResourceUsage:
-    """Extrapolate a simulation-scale usage record to paper scale."""
-    read_factor = 1.0 / dataset.read_scale
-    graph_factor = 1.0 / dataset.scale
+def paper_usage_from_scales(
+    usage: ResourceUsage, read_scale: float, graph_scale: float
+) -> ResourceUsage:
+    """Extrapolate a usage record given the two scale ratios directly.
+
+    ``read_scale`` and ``graph_scale`` are the simulated/paper ratios
+    (``Dataset.read_scale`` and ``Dataset.scale``).  Split out from
+    :func:`paper_usage` so picklable workloads can carry two floats to a
+    process-pool worker instead of the whole data set.
+    """
+    read_factor = 1.0 / read_scale
+    graph_factor = 1.0 / graph_scale
 
     def factor(phase: PhaseUsage) -> float:
         return graph_factor if phase_is_graph_bound(phase) else read_factor
@@ -48,3 +56,8 @@ def paper_usage(usage: ResourceUsage, dataset: Dataset) -> ResourceUsage:
     return usage.scaled_by(
         factor, memory_factor=graph_factor if has_graph else read_factor
     )
+
+
+def paper_usage(usage: ResourceUsage, dataset: Dataset) -> ResourceUsage:
+    """Extrapolate a simulation-scale usage record to paper scale."""
+    return paper_usage_from_scales(usage, dataset.read_scale, dataset.scale)

@@ -44,7 +44,13 @@ class WorkflowPattern(enum.Enum):
 
 @dataclass(frozen=True)
 class StageReport:
-    """Timing/placement record of one pipeline stage."""
+    """Timing/placement record of one pipeline stage.
+
+    ``started_at``/``finished_at`` are virtual-clock times;
+    ``real_seconds`` is the host wall-clock the stage's workloads
+    actually took — the figure a parallel executor backend shrinks while
+    the virtual TTC stays identical.
+    """
 
     name: str
     pilot: str
@@ -53,6 +59,7 @@ class StageReport:
     n_nodes: int
     instance_type: str
     notes: str = ""
+    real_seconds: float = 0.0
 
     @property
     def ttc(self) -> float:

@@ -12,10 +12,20 @@ runtimes:
 * :mod:`repro.parallel.usage` — resource-usage records produced by both.
 * :mod:`repro.parallel.costmodel` — converts measured usage into virtual
   seconds on a given machine configuration (calibrated against Table III).
+* :mod:`repro.parallel.executor` — pluggable backends (serial, thread
+  pool, process pool) that run unit workloads across host cores.
 """
 
 from repro.parallel.comm import SimWorld
 from repro.parallel.costmodel import CostModel, MachineConfig
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkloadExecutor,
+    WorkloadOutcome,
+    make_executor,
+)
 from repro.parallel.mapreduce import MapReduceEngine, MRJob, MRJobStats
 from repro.parallel.usage import PhaseUsage, ResourceUsage, nbytes
 
@@ -29,4 +39,10 @@ __all__ = [
     "nbytes",
     "CostModel",
     "MachineConfig",
+    "WorkloadExecutor",
+    "WorkloadOutcome",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
 ]

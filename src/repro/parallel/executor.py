@@ -1,0 +1,245 @@
+"""Pluggable workload-execution backends for the pilot agent.
+
+The pilot agent separates *what a unit costs on the virtual clock* (the
+cost model, run against the measured usage) from *running the real
+Python workload that produces that usage*.  The executors here own the
+second half: a workload is dispatched with :meth:`WorkloadExecutor.submit`
+and its outcome is collected later through the returned
+:class:`WorkloadHandle` — which is what lets a multi-k, multi-assembler
+fan-out occupy every host core instead of serializing on one.
+
+Three backends:
+
+* :class:`SerialExecutor` — runs the workload inline at submit time.
+  This is the historical behaviour and the default: fully deterministic,
+  no pools, no pickling requirements.
+* :class:`ThreadExecutor` — a ``ThreadPoolExecutor``.  Accepts any
+  callable (closures included); real speedup only where workloads
+  release the GIL (I/O, sleeping, native extensions).
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor``.  True CPU
+  parallelism for pure-Python workloads, but the workload callable and
+  its results must be picklable (see
+  :class:`repro.core.multikmer.AssemblyWorkload`).
+
+All backends report the workload's *real* wall-clock seconds in the
+outcome, so the host-side speedup is observable alongside the — by
+construction backend-independent — virtual TTCs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.parallel.usage import ResourceUsage
+
+#: A unit workload: a callable returning (result, measured usage).
+#: (Mirrors repro.pilot.description.Workload; redeclared here to keep the
+#: parallel layer below the pilot layer.)
+Workload = Callable[[], tuple[Any, ResourceUsage]]
+
+
+class ExecutorError(RuntimeError):
+    pass
+
+
+@dataclass
+class WorkloadOutcome:
+    """What one workload execution produced.
+
+    ``wall_seconds`` is real host time spent inside the workload — not
+    virtual time; the cost model still prices virtual duration from the
+    usage record.
+    """
+
+    result: Any = None
+    usage: ResourceUsage | None = None
+    wall_seconds: float = 0.0
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_workload(work: Workload) -> tuple[Any, ResourceUsage, float]:
+    """Execute ``work`` and time it.
+
+    Module-level so the process backend can ship it to a worker.
+    """
+    t0 = time.perf_counter()
+    result, usage = work()
+    return result, usage, time.perf_counter() - t0
+
+
+class WorkloadHandle(ABC):
+    """A dispatched workload; :meth:`outcome` blocks until it finishes."""
+
+    @abstractmethod
+    def outcome(self) -> WorkloadOutcome:
+        """Wait for the workload and return its outcome (never raises
+        for workload errors — they come back in ``outcome.error``)."""
+
+
+class _ReadyHandle(WorkloadHandle):
+    """An already-finished workload (serial backend, dispatch errors)."""
+
+    def __init__(self, outcome: WorkloadOutcome) -> None:
+        self._outcome = outcome
+
+    def outcome(self) -> WorkloadOutcome:
+        return self._outcome
+
+
+class _FutureHandle(WorkloadHandle):
+    """A workload pending on a concurrent.futures pool."""
+
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    def outcome(self) -> WorkloadOutcome:
+        try:
+            result, usage, wall = self._future.result()
+        except Exception as exc:
+            return WorkloadOutcome(error=exc)
+        return WorkloadOutcome(result=result, usage=usage, wall_seconds=wall)
+
+
+class WorkloadExecutor(ABC):
+    """Dispatches unit workloads; see the module docstring for backends."""
+
+    #: Backend name, as accepted by :func:`make_executor`.
+    name: str = "?"
+
+    @abstractmethod
+    def submit(self, work: Workload) -> WorkloadHandle:
+        """Dispatch ``work``; never raises for workload errors."""
+
+    def shutdown(self) -> None:
+        """Release pool resources (idempotent; no-op for serial)."""
+
+    def __enter__(self) -> "WorkloadExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(WorkloadExecutor):
+    """Runs each workload inline at submit time (historical behaviour)."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # max_workers accepted (and ignored) for factory uniformity.
+        self.max_workers = 1
+
+    def submit(self, work: Workload) -> WorkloadHandle:
+        try:
+            result, usage, wall = run_workload(work)
+        except Exception as exc:
+            return _ReadyHandle(WorkloadOutcome(error=exc))
+        return _ReadyHandle(
+            WorkloadOutcome(result=result, usage=usage, wall_seconds=wall)
+        )
+
+
+class _PoolExecutor(WorkloadExecutor):
+    """Shared plumbing for the concurrent.futures-backed backends.
+
+    The pool is created lazily on first submit so that merely
+    constructing a manager with a parallel backend costs nothing.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or self._default_workers()
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+
+    @staticmethod
+    def _default_workers() -> int:
+        return os.cpu_count() or 1
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def submit(self, work: Workload) -> WorkloadHandle:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        try:
+            future = self._pool.submit(run_workload, work)
+        except Exception as exc:  # pool broken / shut down
+            return _ReadyHandle(WorkloadOutcome(error=exc))
+        return _FutureHandle(future)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """ThreadPoolExecutor backend: any callable, GIL-bound for pure CPU."""
+
+    name = "thread"
+
+    @staticmethod
+    def _default_workers() -> int:
+        # Threads suit GIL-releasing (I/O-shaped) workloads, which can be
+        # oversubscribed well past the core count — same default policy
+        # as concurrent.futures.ThreadPoolExecutor.
+        return min(32, (os.cpu_count() or 1) + 4)
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-exec"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """ProcessPoolExecutor backend: true CPU parallelism, needs pickling.
+
+    Prefers the ``fork`` start method where available so workers inherit
+    the parent's hash seed and module state — keeping set/dict-free
+    deterministic workloads bit-identical to the serial backend.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=ctx)
+
+
+#: Registry of backend names -> classes (used by make_executor and docs).
+EXECUTOR_BACKENDS: dict[str, type[WorkloadExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def make_executor(
+    spec: "str | WorkloadExecutor", max_workers: int | None = None
+) -> WorkloadExecutor:
+    """Resolve an executor spec: a backend name or an existing instance.
+
+    Passing an instance returns it unchanged (the caller keeps ownership
+    of its lifecycle); passing a name constructs a fresh backend.
+    """
+    if isinstance(spec, WorkloadExecutor):
+        return spec
+    try:
+        cls = EXECUTOR_BACKENDS[spec]
+    except (KeyError, TypeError):
+        raise ExecutorError(
+            f"unknown executor {spec!r}; expected one of "
+            f"{sorted(EXECUTOR_BACKENDS)} or a WorkloadExecutor instance"
+        ) from None
+    return cls(max_workers=max_workers)

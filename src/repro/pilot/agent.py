@@ -1,11 +1,26 @@
 """The pilot agent: executes compute units on the pilot's cluster.
 
 The agent is where virtual time happens: it runs each unit's *real*
-workload callable, extrapolates the measured usage to paper scale,
-prices it with the cost model against the SGE slot allocation actually
-granted, and enforces node memory — a unit whose extrapolated footprint
-does not fit its nodes fails with an OOM, the exact failure mode
-motivating the paper's distributed assemblers.
+workload callable through a pluggable :class:`WorkloadExecutor`,
+extrapolates the measured usage to paper scale, prices it with the cost
+model against the SGE slot allocation actually granted, and enforces
+node memory — a unit whose extrapolated footprint does not fit its nodes
+fails with an OOM, the exact failure mode motivating the paper's
+distributed assemblers.
+
+Execution is split into two phases so workloads can run concurrently:
+
+* :meth:`PilotAgent.submit` performs the static capacity check and
+  dispatches the workload to the executor backend;
+* :meth:`PilotAgent.collect` (or :meth:`PilotAgent.drain`) blocks on the
+  workload's outcome, prices it, and enqueues the SGE job whose
+  completion callback binds the result back into the unit on the
+  virtual clock.
+
+All capacity math is capped at the *pilot's* declared slice
+(``pilot.n_nodes``), not the bound cluster's size: an S2 pilot launched
+via ``launch_on`` onto a larger borrowed cluster must not silently use
+the whole cluster.
 """
 
 from __future__ import annotations
@@ -14,6 +29,11 @@ from dataclasses import dataclass, field
 
 from repro.cloud.sge import SGEJob
 from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
+from repro.parallel.executor import (
+    SerialExecutor,
+    WorkloadExecutor,
+    WorkloadHandle,
+)
 from repro.parallel.usage import ResourceUsage
 from repro.pilot.pilot import Pilot
 from repro.pilot.states import PilotState, UnitState
@@ -33,22 +53,43 @@ class PilotAgent:
 
     pilot: Pilot
     cost_model: CostModel = field(default_factory=CostModel)
+    executor: WorkloadExecutor = field(default_factory=SerialExecutor)
+    _pending: dict[str, tuple[ComputeUnit, WorkloadHandle]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.pilot.cluster is None:
             raise AgentError(f"{self.pilot.pilot_id} has no cluster")
 
+    # -- the pilot's slice of the cluster ----------------------------------
+
+    @property
+    def slice_nodes(self) -> int:
+        """Nodes this agent may use: the pilot's slice, never more than
+        the cluster actually has."""
+        return min(self.pilot.n_nodes, self.pilot.cluster.n_nodes)
+
+    @property
+    def slice_slots(self) -> int:
+        """SGE slots within the pilot's slice."""
+        cluster = self.pilot.cluster
+        return min(cluster.total_slots, self.slice_nodes * cluster.itype.vcpus)
+
+    # -- phase 1: dispatch -------------------------------------------------
+
     def submit(self, unit: ComputeUnit) -> None:
-        """Run the unit's workload, price it, and enqueue the SGE job."""
+        """Check static capacity and dispatch the unit's workload."""
         if self.pilot.state is not PilotState.ACTIVE:
             raise AgentError(f"{self.pilot.pilot_id} is not ACTIVE")
         cluster = self.pilot.cluster
         unit.advance(UnitState.PENDING_EXECUTION)
 
-        # Static capacity check against the declared footprint.
+        # Static capacity check against the declared footprint, sized on
+        # the pilot's slice (not the possibly larger borrowed cluster).
         itype = cluster.itype
         nodes_spanned = max(
-            1, min(cluster.n_nodes, -(-unit.description.cores // itype.vcpus))
+            1, min(self.slice_nodes, -(-unit.description.cores // itype.vcpus))
         )
         declared = unit.description.memory_bytes
         if declared and declared / nodes_spanned > itype.memory_bytes:
@@ -58,19 +99,56 @@ class PilotAgent:
             )
             return
 
-        # Execute the real workload now; time is charged on the virtual
-        # clock when the SGE job runs.
+        # Dispatch the real workload; it may run concurrently with other
+        # units' workloads.  Virtual time is charged when the SGE job
+        # runs, after collect() binds the outcome back in.
+        self._pending[unit.unit_id] = (
+            unit,
+            self.executor.submit(unit.description.work),
+        )
+
+    # -- phase 2: collect --------------------------------------------------
+
+    def collect(self, unit: ComputeUnit) -> None:
+        """Block on the unit's workload outcome and enqueue its SGE job."""
         try:
-            result, usage = unit.description.work()
-        except Exception as exc:  # workload crash -> unit failure
-            unit.fail(f"workload error: {exc}")
+            unit, handle = self._pending.pop(unit.unit_id)
+        except KeyError:
+            raise AgentError(
+                f"{unit.unit_id} has no pending workload on "
+                f"{self.pilot.pilot_id}"
+            ) from None
+        outcome = handle.outcome()
+        if not outcome.ok:
+            unit.fail(f"workload error: {outcome.error}")
             return
+        unit.real_seconds = outcome.wall_seconds
+        self._enqueue(unit, outcome.result, outcome.usage)
+
+    def drain(self) -> None:
+        """Collect every pending unit, in dispatch order."""
+        for unit, _ in list(self._pending.values()):
+            self.collect(unit)
+
+    @property
+    def pending_units(self) -> list[ComputeUnit]:
+        return [unit for unit, _ in self._pending.values()]
+
+    # -- pricing and the virtual-clock SGE job -----------------------------
+
+    def _enqueue(self, unit: ComputeUnit, result, usage: ResourceUsage) -> None:
+        cluster = self.pilot.cluster
+        itype = cluster.itype
         scaled = usage.scaled(1.0 / unit.description.scale)
         oom = {"hit": False}
 
         def duration(alloc: dict[str, int]) -> float:
+            # The pilot only holds slice_nodes of the cluster, so the
+            # unit never spreads wider than its slice even when SGE
+            # fragments the allocation across more physical nodes.
+            n_nodes = min(len(alloc), self.slice_nodes)
             machine = MachineConfig(
-                n_nodes=len(alloc),
+                n_nodes=n_nodes,
                 cores_per_node=itype.vcpus,
                 compute_factor=itype.compute_factor,
                 network_bandwidth=itype.network_bandwidth,
@@ -80,7 +158,7 @@ class PilotAgent:
                 unit.description.input_bytes + unit.description.output_bytes,
                 machine,
             )
-            ranks_per_node = -(-scaled.n_ranks // len(alloc))
+            ranks_per_node = -(-scaled.n_ranks // n_nodes)
             if not fits_in_memory(scaled, itype.memory_bytes, ranks_per_node):
                 oom["hit"] = True
                 return seconds * OOM_FAILURE_FRACTION
@@ -111,17 +189,28 @@ class PilotAgent:
 
         job = SGEJob(
             name=unit.description.name,
-            slots=min(unit.description.cores, cluster.total_slots),
+            slots=min(unit.description.cores, self.slice_slots),
             duration=timed_duration,
             on_complete=on_complete,
         )
         cluster.scheduler.qsub(job)
 
 
-def merged_usage(units: list[ComputeUnit]) -> ResourceUsage:
-    """Sequentially merge the scaled usage of finished units."""
+def merged_usage(
+    units: list[ComputeUnit], include_failed: bool = False
+) -> ResourceUsage:
+    """Sequentially merge the scaled usage of finished units.
+
+    By default only DONE units contribute: a FAILED unit's usage (e.g.
+    the partial record of a measured OOM) describes work whose outputs
+    were discarded.  Pass ``include_failed=True`` to account for that
+    burnt work too — e.g. when totalling what a run actually consumed.
+    """
     total = ResourceUsage()
     for u in units:
-        if u.usage is not None:
-            total = total.merge(u.usage)
+        if u.usage is None:
+            continue
+        if u.state is not UnitState.DONE and not include_failed:
+            continue
+        total = total.merge(u.usage)
     return total

@@ -19,6 +19,7 @@ from repro.cloud.clock import EventQueue
 from repro.cloud.cluster import Cluster, build_cluster, cluster_from_vms
 from repro.cloud.ec2 import EC2Region
 from repro.parallel.costmodel import CostModel
+from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.agent import PilotAgent
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
@@ -100,22 +101,33 @@ class PilotManager:
 
 @dataclass
 class UnitManager:
-    """Schedules and executes compute units over a set of pilots."""
+    """Schedules and executes compute units over a set of pilots.
+
+    ``executor`` selects the workload-execution backend shared by all of
+    this manager's pilot agents: ``"serial"`` (default), ``"thread"``,
+    ``"process"``, or a ready :class:`WorkloadExecutor` instance.  The
+    backend changes only *real* wall-time — virtual TTCs and results are
+    identical across backends.
+    """
 
     db: StateStore
     events: EventQueue
     scheduler: UnitScheduler = field(default_factory=RoundRobinScheduler)
     cost_model: CostModel = field(default_factory=CostModel)
+    executor: WorkloadExecutor | str = "serial"
     pilots: list[Pilot] = field(default_factory=list)
     units: list[ComputeUnit] = field(default_factory=list)
     _agents: dict[str, PilotAgent] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.executor = make_executor(self.executor)
 
     def add_pilot(self, pilot: Pilot) -> None:
         if pilot.state is not PilotState.ACTIVE:
             raise ManagerError(f"{pilot.pilot_id} must be ACTIVE")
         self.pilots.append(pilot)
         self._agents[pilot.pilot_id] = PilotAgent(
-            pilot=pilot, cost_model=self.cost_model
+            pilot=pilot, cost_model=self.cost_model, executor=self.executor
         )
 
     def submit_units(
@@ -131,21 +143,48 @@ class UnitManager:
 
     def run(self, units: list[ComputeUnit] | None = None) -> list[ComputeUnit]:
         """Schedule, execute and (where allowed) restart units; returns
-        them once all are final.  Advances the virtual clock."""
+        them once all are final.  Advances the virtual clock.
+
+        Restarts honour the paper's §III.C "restarting [elsewhere]"
+        semantics: a ``(unit, pilot)`` pair that already failed is never
+        retried, and a unit whose restart fits no untried pilot fails
+        with a :class:`SchedulingError` instead of looping.
+        """
         pending = list(units) if units is not None else list(self.units)
         if not self.pilots:
             raise ManagerError("no pilots added")
 
+        failed_on: dict[str, set[str]] = {}
         attempt = 0
         while pending:
-            assignment = self.scheduler.schedule(pending, self.pilots)
+            try:
+                assignment = self.scheduler.schedule(
+                    pending, self.pilots, exclude=failed_on
+                )
+            except SchedulingError as exc:
+                for unit in pending:
+                    if unit.state is UnitState.UNSCHEDULED:
+                        unit.advance(UnitState.SCHEDULING)
+                    unit.fail(str(exc))
+                raise
+            # Phase 1: dispatch every workload (they run concurrently
+            # under a parallel executor backend) ...
             for unit in pending:
                 unit.advance(UnitState.SCHEDULING)
                 unit.assign(assignment[unit.unit_id])
                 self._agents[unit.pilot_id].submit(unit)
+            # ... phase 2: collect outcomes in submission order, which
+            # enqueues the SGE jobs deterministically, then let virtual
+            # time run.
+            for unit in pending:
+                if unit.state is UnitState.PENDING_EXECUTION:
+                    self._agents[unit.pilot_id].collect(unit)
             self.events.run()
 
             failed = [u for u in pending if u.state is UnitState.FAILED]
+            for u in failed:
+                if u.pilot_id is not None:
+                    failed_on.setdefault(u.unit_id, set()).add(u.pilot_id)
             retryable = [
                 u for u in failed if u.restarts < u.description.max_restarts
             ]
@@ -159,3 +198,8 @@ class UnitManager:
 
     def wait_done(self) -> None:
         self.events.run()
+
+    def close(self) -> None:
+        """Release the executor backend's pool resources (idempotent)."""
+        if isinstance(self.executor, WorkloadExecutor):
+            self.executor.shutdown()

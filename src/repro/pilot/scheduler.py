@@ -8,16 +8,25 @@ pipeline uses three:
   cannot fit the pilot's nodes, preferring pilots with headroom; this is
   what saves large inputs from landing on c3.2xlarge (Table IV), and
 * a load-balancing variant weighting pilots by free cores.
+
+Every policy takes an optional ``exclude`` map (``{unit_id: {pilot_id}}``)
+naming pilots a unit must not be placed on again — the §III.C restart
+path uses it to re-place a failed unit *elsewhere* instead of looping on
+the pilot it already failed on.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Mapping
 
 from repro.cloud.instances import get_instance_type
 from repro.pilot.pilot import Pilot
 from repro.pilot.states import PilotState
 from repro.pilot.unit import ComputeUnit
+
+#: Pilots each unit must not be scheduled on: ``{unit_id: {pilot_id}}``.
+ExcludeMap = Mapping[str, "set[str] | frozenset[str]"]
 
 
 class SchedulingError(RuntimeError):
@@ -49,58 +58,82 @@ def unit_fits_pilot(unit: ComputeUnit, pilot: Pilot) -> bool:
     return True
 
 
+def _candidates(
+    unit: ComputeUnit, usable: list[Pilot], exclude: ExcludeMap | None
+) -> list[Pilot]:
+    """Usable pilots the unit fits on and is not excluded from."""
+    banned = (exclude or {}).get(unit.unit_id, frozenset())
+    return [
+        p
+        for p in usable
+        if p.pilot_id not in banned and unit_fits_pilot(unit, p)
+    ]
+
+
+def _no_fit_error(
+    unit: ComputeUnit, exclude: ExcludeMap | None
+) -> SchedulingError:
+    banned = (exclude or {}).get(unit.unit_id, frozenset())
+    if banned:
+        return SchedulingError(
+            f"unit {unit.description.name!r} fits no untried pilot "
+            f"(already failed on {sorted(banned)})"
+        )
+    return SchedulingError(f"unit {unit.description.name!r} fits no pilot")
+
+
 class UnitScheduler(ABC):
     """Assigns each unit to one pilot."""
 
     @abstractmethod
     def schedule(
-        self, units: list[ComputeUnit], pilots: list[Pilot]
+        self,
+        units: list[ComputeUnit],
+        pilots: list[Pilot],
+        exclude: ExcludeMap | None = None,
     ) -> dict[str, str]:
         """Returns ``{unit_id: pilot_id}``; raises SchedulingError when a
-        unit fits nowhere."""
+        unit fits nowhere (or nowhere it has not already failed)."""
 
 
 class RoundRobinScheduler(UnitScheduler):
     """Cycle through the usable pilots, skipping those the unit cannot fit."""
 
-    def schedule(self, units, pilots):
+    def schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")
         out: dict[str, str] = {}
         i = 0
         for unit in units:
+            banned = (exclude or {}).get(unit.unit_id, frozenset())
             placed = False
             for probe in range(len(usable)):
                 pilot = usable[(i + probe) % len(usable)]
+                if pilot.pilot_id in banned:
+                    continue
                 if unit_fits_pilot(unit, pilot):
                     out[unit.unit_id] = pilot.pilot_id
                     i = (i + probe + 1) % len(usable)
                     placed = True
                     break
             if not placed:
-                raise SchedulingError(
-                    f"unit {unit.description.name!r} fits no pilot"
-                )
+                raise _no_fit_error(unit, exclude)
         return out
 
 
 class MemoryAwareScheduler(UnitScheduler):
     """Prefer the cheapest pilot whose nodes can hold the unit's footprint."""
 
-    def schedule(self, units, pilots):
+    def schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")
         out: dict[str, str] = {}
         for unit in units:
-            candidates = [p for p in usable if unit_fits_pilot(unit, p)]
+            candidates = _candidates(unit, usable, exclude)
             if not candidates:
-                raise SchedulingError(
-                    f"unit {unit.description.name!r} ("
-                    f"{unit.description.memory_bytes / 1024**3:.0f} GiB) "
-                    f"fits no pilot"
-                )
+                raise _no_fit_error(unit, exclude)
             best = min(
                 candidates,
                 key=lambda p: (
@@ -115,18 +148,16 @@ class MemoryAwareScheduler(UnitScheduler):
 class LoadBalancingScheduler(UnitScheduler):
     """Spread units proportionally to pilot core counts."""
 
-    def schedule(self, units, pilots):
+    def schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")
         assigned_cores = {p.pilot_id: 0 for p in usable}
         out: dict[str, str] = {}
         for unit in units:
-            candidates = [p for p in usable if unit_fits_pilot(unit, p)]
+            candidates = _candidates(unit, usable, exclude)
             if not candidates:
-                raise SchedulingError(
-                    f"unit {unit.description.name!r} fits no pilot"
-                )
+                raise _no_fit_error(unit, exclude)
             best = min(
                 candidates,
                 key=lambda p: assigned_cores[p.pilot_id]

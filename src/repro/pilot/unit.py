@@ -29,6 +29,8 @@ class ComputeUnit:
     restarts: int = 0
     started_at: float | None = None
     finished_at: float | None = None
+    #: Real host seconds spent in the workload (not virtual time).
+    real_seconds: float | None = None
 
     def __post_init__(self) -> None:
         self.db.register(
@@ -65,9 +67,21 @@ class ComputeUnit:
         self.db.update(self.unit_id, "error", error)
 
     def reset_for_restart(self) -> None:
-        """FAILED -> UNSCHEDULED (the restart path of §III.C)."""
+        """FAILED -> UNSCHEDULED (the restart path of §III.C).
+
+        Clears the whole execution record: a restarted unit must not
+        report the dead attempt's usage, result or timestamps — e.g. a
+        retry that fails the static capacity check (and so never
+        executes) would otherwise surface the failed attempt's usage
+        through ``merged_usage`` and a bogus ``ttc``.
+        """
         self.advance(UnitState.UNSCHEDULED)
         self.restarts += 1
         self.pilot_id = None
         self.error = None
+        self.result = None
+        self.usage = None
+        self.started_at = None
+        self.finished_at = None
+        self.real_seconds = None
         self.db.update(self.unit_id, "restarts", self.restarts)

@@ -275,20 +275,29 @@ class TestUnitExecution:
         assert u.pilot_id == big.pilot_id
 
     def test_restart_counter(self):
+        """Each restart lands on an untried pilot and bumps the counter;
+        once every pilot has been tried the run fails with a
+        SchedulingError instead of looping on a pilot it already
+        failed on."""
         clock, events, region, db = sim()
         pm = PilotManager(region, events, db)
-        pilot = pm.launch(pm.submit(PilotDescription("P", "c3.2xlarge", 1)))
+        p1 = pm.launch(pm.submit(PilotDescription("P1", "c3.2xlarge", 1)))
+        p2 = pm.launch(pm.submit(PilotDescription("P2", "c3.2xlarge", 1)))
         um = UnitManager(db, events)
-        um.add_pilot(pilot)
+        um.add_pilot(p1)
+        um.add_pilot(p2)
         desc = UnitDescription(
             name="oom", work=make_work(mem=10**9), cores=8, scale=0.01,
-            max_restarts=2,
+            max_restarts=5,
         )
         units = um.submit_units([desc])
-        um.run(units)
+        with pytest.raises(SchedulingError):
+            um.run(units)
         (u,) = units
-        assert u.state is UnitState.FAILED
+        # OOMed on both pilots, restarted after each: two attempts.
         assert u.restarts == 2
+        assert u.state is UnitState.FAILED
+        assert "untried" in u.error
 
     def test_no_pilots_rejected(self):
         clock, events, region, db = sim()
