@@ -20,8 +20,8 @@ from __future__ import annotations
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
-from repro.assembly.dbg import KMER_RECORD_BYTES, KmerTable, extract_unitigs
-from repro.assembly.ray import distribute_and_count
+from repro.assembly.dbg import extract_unitigs
+from repro.assembly.ray import distribute_and_count, merge_shards
 from repro.parallel.comm import SimWorld
 from repro.seq.fastq import FastqRecord
 
@@ -46,28 +46,24 @@ class AbyssAssembler:
         with world.phase("graph_build", kind="graph"):
             for r in world.ranks():
                 shard = shards[r]
-                doomed = [km for km, c in shard.items() if c < params.min_count]
-                for km in doomed:
-                    del shard[km]
-                world.charge(r, float(len(shard) + len(doomed)))
-                world.record_memory(r, len(shard) * KMER_RECORD_BYTES)
+                removed = shard.drop_below(params.min_count)
+                world.charge(r, float(len(shard) + removed))
+                world.record_memory(r, shard.memory_bytes())
 
-        merged: dict[bytes, int] = {}
-        for shard in shards:
-            merged.update(shard)
-        table = KmerTable(k=k, counts=merged)
+        table = merge_shards(k, shards)
 
         # Bulk-synchronous unitig walking: ranks walk their own seeds in
         # rounds; unlike Ray there is no per-step probe message, the round
         # structure shows up as collectives instead.
         with world.phase("unitig_rounds", kind="walk"):
-            visited: set[bytes] = set()
+            visited: set = set()
             all_unitigs = []
             per_rank_unitigs: list[list] = []
             total_probes = 0
             for r in world.ranks():
-                seeds = sorted(shards[r].keys())
-                unitigs, steps = extract_unitigs(table, iter(seeds), visited)
+                unitigs, steps = extract_unitigs(
+                    table, seeds=shards[r].packed, visited=visited
+                )
                 all_unitigs.extend(unitigs)
                 per_rank_unitigs.append(unitigs)
                 world.charge(r, float(steps))

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.assembly.dbg import Unitig
-from repro.seq import alphabet
+from repro.assembly.kmers import canonical
 
 
 def _endpoints(u: Unitig, k: int) -> tuple[bytes, bytes]:
@@ -26,8 +26,9 @@ def _endpoints(u: Unitig, k: int) -> tuple[bytes, bytes]:
 
 
 def _canon_junction(j: bytes) -> bytes:
-    rc = bytes(3 - b if b < 4 else b for b in reversed(j))
-    return j if j <= rc else rc
+    # Unitig codes never contain N (N windows are dropped before the
+    # graph is built), so the shared ACGT canonical helper applies.
+    return canonical(j)
 
 
 def build_unitig_graph(unitigs: list[Unitig], k: int) -> nx.MultiGraph:

@@ -31,11 +31,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.assembly import packed as packedmod
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
 from repro.assembly.dbg import Unitig
-from repro.assembly.kmers import canonical_kmers, revcomp_kmer
+from repro.assembly.kmers import (
+    canonical,
+    canonical_kmers_packed,
+    revcomp_kmer,
+)
 from repro.parallel.mapreduce import MapReduceEngine, MRJob
 from repro.seq import alphabet
 from repro.seq.fastq import FastqRecord
@@ -60,9 +65,8 @@ class _Segment:
         return _canon(left), _canon(right)
 
 
-def _canon(j: bytes) -> bytes:
-    rc = revcomp_kmer(j)
-    return j if j <= rc else rc
+#: Junction canonicalization — the shared single-k-mer helper.
+_canon = canonical
 
 
 def _coin(sid: int, round_no: int) -> bool:
@@ -166,11 +170,13 @@ class ContrailAssembler:
         k = params.k
         min_count = params.min_count
 
+        # Keys travel as packed integers (order-isomorphic to the code
+        # bytes) but are priced at their logical k-byte record size, so
+        # shuffle bytes and reducer memory match the bytes-keyed job.
         def mapper(_rid, seq):
-            rows = canonical_kmers(alphabet.encode(seq), k)
-            raw = np.ascontiguousarray(rows).tobytes()
-            for i in range(rows.shape[0]):
-                yield raw[i * k : (i + 1) * k], 1
+            rows = canonical_kmers_packed(alphabet.encode(seq), k)
+            for key in packedmod.packed_to_ints(rows, k):
+                yield key, 1
 
         def combiner(kmer, values):
             yield kmer, sum(values)
@@ -180,9 +186,19 @@ class ContrailAssembler:
             if total >= min_count:
                 yield kmer, total
 
-        job = MRJob("kmer_count", mapper, reducer, combiner=combiner)
+        job = MRJob(
+            "kmer_count",
+            mapper,
+            reducer,
+            combiner=combiner,
+            key_nbytes=lambda _key: k,
+        )
         out = engine.run(job, [(r.id, r.seq) for r in reads])
-        return dict(out)
+        int_keys = [key for key, _c in out]
+        byte_keys = packedmod.unpack_to_bytes(
+            packedmod.ints_to_packed(int_keys, k), k
+        )
+        return {bk: c for bk, (_key, c) in zip(byte_keys, out)}
 
     def _job_pair(
         self,

@@ -1,194 +1,452 @@
-"""De Bruijn graph construction and unitig extraction.
+"""De Bruijn graph construction and unitig extraction (packed engine).
 
 The graph is implicit: a :class:`KmerTable` maps canonical k-mers to
 coverage counts, and adjacency is discovered by membership queries on the
 four possible single-base extensions — the classic hash-based DBG
 (Velvet/ABySS/Ray all work this way).
 
+K-mers live in the 2-bit packed representation of
+:mod:`repro.assembly.packed`: the table stores sorted packed rows with an
+aligned count column, membership and coverage are batched
+``np.searchsorted`` probes, and :func:`extract_unitigs` advances *arrays*
+of concurrent walks per step instead of probing one Python-level k-mer at
+a time.  The packed layout is order-isomorphic to the historical bytes
+representation, and the frontier walker is step-for-step equivalent to
+the sequential one (``repro.assembly.reference_impl``), so contigs, walk
+step counts and emission order are bit-identical to the bytes-dict
+engine — only real wall-time changes.
+
 Orientation handling: the table stores *canonical* k-mers, but walking
-operates on *oriented* k-mers (plain code-bytes); every membership test
-canonicalizes first.  A unitig is a maximal path along which every
-interior node has exactly one successor and one predecessor.
+operates on *oriented* k-mers; every membership test canonicalizes first.
+A unitig is a maximal path along which every interior node has exactly
+one successor and one predecessor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable
 
 import numpy as np
 
-from repro.assembly.kmers import canonical, revcomp_kmer
+from repro.assembly import packed as packedmod
 from repro.seq import alphabet
 
 _BASES = (0, 1, 2, 3)
 
 #: Resident bytes per stored k-mer.  The real assemblers pack k-mers into
 #: 2-bit words with open-addressing tables (Ray ~14 B, ABySS ~16 B per
-#: k-mer); memory extrapolations to paper scale use this constant, not
-#: Python's dict overhead.
+#: k-mer); memory extrapolations to paper scale use this constant, which
+#: the packed layout (two uint64 words) now matches physically.
 KMER_RECORD_BYTES = 16
 
 
-@dataclass
 class KmerTable:
-    """Canonical k-mer -> coverage count."""
+    """Canonical k-mer -> coverage count, as sorted packed rows.
 
-    k: int
-    counts: dict[bytes, int] = field(default_factory=dict)
+    Rows are kept sorted by packed key (== bytes-lexicographic k-mer
+    order), with counts in an aligned ``int64`` column.  All lookups are
+    batched binary searches; the ``counts`` property materializes the
+    historical ``dict[bytes, int]`` view on demand for compatibility.
+    """
+
+    def __init__(self, k: int, counts: dict[bytes, int] | None = None) -> None:
+        packedmod.check_k(k)
+        self.k = k
+        self.words = packedmod.words_for(k)
+        self._packed = np.zeros((0, self.words), dtype=np.uint64)
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._keys = packedmod.keys(self._packed, k)
+        self._dict: dict[bytes, int] | None = None
+        if counts:
+            self.add_counts(counts)
+
+    @classmethod
+    def from_packed(
+        cls, k: int, packed_rows: np.ndarray, counts: np.ndarray
+    ) -> "KmerTable":
+        """Build from *distinct* packed rows and their counts."""
+        t = cls(k)
+        rows = np.asarray(packed_rows, dtype=np.uint64).reshape(-1, t.words)
+        key_arr = packedmod.keys(rows, k)
+        order = np.argsort(key_arr, kind="stable")
+        t._packed = np.ascontiguousarray(rows[order])
+        t._counts = np.asarray(counts, dtype=np.int64)[order]
+        t._keys = key_arr[order]
+        return t
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def packed(self) -> np.ndarray:
+        """Sorted canonical rows, ``(n, W)`` uint64 (do not mutate)."""
+        return self._packed
+
+    @property
+    def key_array(self) -> np.ndarray:
+        """Sorted 1-D key array aligned with :attr:`packed`."""
+        return self._keys
+
+    @property
+    def count_array(self) -> np.ndarray:
+        """Coverage counts aligned with :attr:`packed`."""
+        return self._counts
+
+    @property
+    def counts(self) -> dict[bytes, int]:
+        """Read-only dict view (canonical code-bytes -> count), in sorted
+        k-mer order — the historical representation, built lazily."""
+        if self._dict is None:
+            kms = packedmod.unpack_to_bytes(self._packed, self.k)
+            self._dict = dict(zip(kms, self._counts.tolist()))
+        return self._dict
 
     def __len__(self) -> int:
-        return len(self.counts)
+        return int(self._counts.shape[0])
+
+    # -- batched lookups ----------------------------------------------------
+
+    def lookup_keys(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Exact-key membership + coverage for an array of packed keys."""
+        n = self._keys.shape[0]
+        m = query.shape[0]
+        if n == 0 or m == 0:
+            return np.zeros(m, dtype=bool), np.zeros(m, dtype=np.int64)
+        idx = np.searchsorted(self._keys, query)
+        idxc = np.minimum(idx, n - 1)
+        found = (idx < n) & (self._keys[idxc] == query)
+        cov = np.where(found, self._counts[idxc], 0)
+        return found, cov
+
+    def has_keys(self, query: np.ndarray) -> np.ndarray:
+        """Exact-key membership only."""
+        return self.lookup_keys(query)[0]
+
+    # -- single-k-mer compatibility API ------------------------------------
+
+    def _lookup_oriented(self, oriented: bytes) -> tuple[bool, int]:
+        row = packedmod.canonicalize(packedmod.pack_bytes_kmer(oriented), self.k)
+        found, cov = self.lookup_keys(packedmod.keys(row, self.k))
+        return bool(found[0]), int(cov[0])
 
     def __contains__(self, oriented: bytes) -> bool:
-        return canonical(oriented) in self.counts
+        return self._lookup_oriented(oriented)[0]
 
     def coverage(self, oriented: bytes) -> int:
-        return self.counts.get(canonical(oriented), 0)
+        return self._lookup_oriented(oriented)[1]
 
     def add_counts(self, other: dict[bytes, int]) -> None:
-        for kmer, c in other.items():
-            self.counts[kmer] = self.counts.get(kmer, 0) + c
+        """Merge a counts dict (keys must already be canonical)."""
+        if not other:
+            return
+        kms = list(other.keys())
+        mat = np.frombuffer(b"".join(kms), dtype=np.uint8).reshape(
+            len(kms), self.k
+        )
+        rows = packedmod.pack(mat)
+        cnt = np.fromiter(other.values(), dtype=np.int64, count=len(kms))
+        all_rows = np.concatenate([self._packed, rows], axis=0)
+        all_cnt = np.concatenate([self._counts, cnt])
+        key_arr = packedmod.keys(all_rows, self.k)
+        uniq, first, inverse = np.unique(
+            key_arr, return_index=True, return_inverse=True
+        )
+        summed = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(summed, inverse, all_cnt)
+        self._packed = np.ascontiguousarray(all_rows[first])
+        self._counts = summed
+        self._keys = uniq
+        self._dict = None
 
     def drop_below(self, min_count: int) -> int:
         """Remove k-mers with coverage below ``min_count``; returns #removed."""
-        doomed = [k for k, c in self.counts.items() if c < min_count]
-        for k in doomed:
-            del self.counts[k]
-        return len(doomed)
+        keep = self._counts >= min_count
+        removed = int(keep.size - keep.sum())
+        if removed:
+            self._packed = np.ascontiguousarray(self._packed[keep])
+            self._counts = self._counts[keep]
+            self._keys = self._keys[keep]
+            self._dict = None
+        return removed
 
     def memory_bytes(self) -> int:
         """Resident size a packed (real-tool) k-mer table would need."""
-        return len(self.counts) * KMER_RECORD_BYTES
+        return len(self) * KMER_RECORD_BYTES
 
     # -- adjacency ---------------------------------------------------------
 
     def successors(self, oriented: bytes) -> list[bytes]:
         """Oriented k-mers reachable by appending one base."""
+        row = packedmod.pack_bytes_kmer(oriented)
+        ext = np.concatenate(
+            [packedmod.extend_right(row, self.k, b) for b in _BASES], axis=0
+        )
+        found = self.has_keys(
+            packedmod.keys(packedmod.canonicalize(ext, self.k), self.k)
+        )
         suffix = oriented[1:]
-        out = []
-        for b in _BASES:
-            nxt = suffix + bytes([b])
-            if canonical(nxt) in self.counts:
-                out.append(nxt)
-        return out
+        return [suffix + bytes([b]) for b in _BASES if found[b]]
 
     def predecessors(self, oriented: bytes) -> list[bytes]:
         """Oriented k-mers reachable by prepending one base."""
+        row = packedmod.pack_bytes_kmer(oriented)
+        ext = np.concatenate(
+            [packedmod.extend_left(row, self.k, b) for b in _BASES], axis=0
+        )
+        found = self.has_keys(
+            packedmod.keys(packedmod.canonicalize(ext, self.k), self.k)
+        )
         prefix = oriented[:-1]
-        out = []
-        for b in _BASES:
-            prv = bytes([b]) + prefix
-            if canonical(prv) in self.counts:
-                out.append(prv)
-        return out
+        return [bytes([b]) + prefix for b in _BASES if found[b]]
 
 
 def build_kmer_table(k: int, counts: dict[bytes, int]) -> KmerTable:
     """Wrap a counts dict (keys must already be canonical)."""
-    return KmerTable(k=k, counts=dict(counts))
+    return KmerTable(k=k, counts=counts)
 
 
-@dataclass
+def build_kmer_table_packed(
+    k: int, packed_rows: np.ndarray, counts: np.ndarray
+) -> KmerTable:
+    """Wrap distinct packed canonical rows + counts without conversions."""
+    return KmerTable.from_packed(k, packed_rows, counts)
+
+
 class Unitig:
     """A maximal non-branching path: its sequence codes and coverage."""
 
-    codes: np.ndarray  # uint8, length >= k
-    coverage: float  # mean k-mer coverage
-    n_kmers: int
+    __slots__ = ("codes", "coverage", "n_kmers")
+
+    def __init__(self, codes: np.ndarray, coverage: float, n_kmers: int):
+        self.codes = codes  # uint8, length >= k
+        self.coverage = coverage  # mean k-mer coverage
+        self.n_kmers = n_kmers
 
     def __len__(self) -> int:
         return int(self.codes.shape[0])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Unitig)
+            and np.array_equal(self.codes, other.codes)
+            and self.coverage == other.coverage
+            and self.n_kmers == other.n_kmers
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Unitig(len={len(self)}, coverage={self.coverage:.2f}, "
+            f"n_kmers={self.n_kmers})"
+        )
 
     @property
     def seq(self) -> str:
         return alphabet.decode(self.codes)
 
 
-def _walk(
-    table: KmerTable,
-    start: bytes,
-    visited: set[bytes],
-) -> tuple[list[int], float, int]:
-    """Walk right then left from ``start``; returns (codes, cov, steps).
+class _WalkBatch:
+    """State of all concurrent walks launched from one seed batch."""
 
-    Marks every visited k-mer's canonical form in ``visited``.
-    """
-    k = table.k
-    chain = list(start)
-    cov_sum = table.coverage(start)
-    n = 1
-    visited.add(canonical(start))
+    def __init__(self, table: KmerTable, starts: np.ndarray) -> None:
+        k = table.k
+        m = starts.shape[0]
+        self.table = table
+        self.starts = starts
+        self.start_keys = packedmod.key_list(starts, k)
+        _, cov0 = table.lookup_keys(packedmod.keys(starts, k))
+        self.cov_sum = cov0.astype(np.float64)
+        self.n_kmers = np.ones(m, dtype=np.int64)
+        self.right: list[list[int]] = [[] for _ in range(m)]
+        self.left: list[list[int]] = [[] for _ in range(m)]
+        #: Per-walk set of canonical keys this walk has entered — needed
+        #: for cycle termination and palindromic hairpin re-entry, which
+        #: can strike at any path position.
+        self.own: list[set] = [set() for _ in range(m)]
+        #: canonical key -> lowest walk index that entered the node.  Two
+        #: walks can only ever meet when they seed the same unitig (the
+        #: predecessor-uniqueness check blocks all cross-unitig entry),
+        #: so on contact the higher-index walk is redundant — exactly the
+        #: walk the sequential reference would have skipped — and is
+        #: killed, keeping total work linear in the table size.
+        self.claimed: dict = {}
+        self.alive = np.ones(m, dtype=bool)
+        self._start_codes: np.ndarray | None = None
+        for w, key in enumerate(self.start_keys):
+            if key in self.claimed:
+                self.alive[w] = False  # duplicate seed
+            else:
+                self.claimed[key] = w
+                self.own[w].add(key)
 
-    # Extend right.
-    cur = start
-    while True:
-        nxts = table.successors(cur)
-        if len(nxts) != 1:
-            break
-        nxt = nxts[0]
-        if canonical(nxt) in visited:
-            break  # loop or palindromic re-entry
-        if len(table.predecessors(nxt)) != 1:
-            break  # converging branch
-        chain.append(nxt[-1])
-        visited.add(canonical(nxt))
-        cov_sum += table.coverage(nxt)
-        n += 1
-        cur = nxt
+    def run(self) -> None:
+        k = self.table.k
+        live = np.flatnonzero(self.alive)
+        self._extend(self.starts[live], live, self.right)
+        live = np.flatnonzero(self.alive)
+        self._extend(packedmod.revcomp(self.starts[live], k), live, self.left)
 
-    # Extend left (walk right from the reverse complement of the start).
-    cur = revcomp_kmer(start)
-    left: list[int] = []
-    while True:
-        nxts = table.successors(cur)
-        if len(nxts) != 1:
-            break
-        nxt = nxts[0]
-        if canonical(nxt) in visited:
-            break
-        if len(table.predecessors(nxt)) != 1:
-            break
-        left.append(nxt[-1])
-        visited.add(canonical(nxt))
-        cov_sum += table.coverage(nxt)
-        n += 1
-        cur = nxt
+    def _extend(
+        self,
+        cur: np.ndarray,
+        walk_ids: np.ndarray,
+        chains: list[list[int]],
+    ) -> None:
+        """Advance all walks rightward in lockstep until each breaks."""
+        table = self.table
+        k = table.k
+        while walk_ids.size:
+            mask = self.alive[walk_ids]
+            if not mask.all():
+                walk_ids = walk_ids[mask]
+                cur = cur[mask]
+                if walk_ids.size == 0:
+                    return
+            a = walk_ids.size
+            # Batched successor probe: 4 candidate extensions per walk.
+            ext = np.stack(
+                [packedmod.extend_right(cur, k, b) for b in _BASES], axis=1
+            )
+            canon_keys = packedmod.keys(
+                packedmod.canonicalize(ext.reshape(a * 4, -1), k), k
+            )
+            found, cov = table.lookup_keys(canon_keys)
+            found = found.reshape(a, 4)
+            ok = found.sum(axis=1) == 1
+            if not ok.any():
+                return
+            rows = np.arange(a)
+            b_next = np.argmax(found, axis=1)
+            nxt = ext[rows, b_next]
+            nxt_keys = canon_keys.reshape(a, 4)[rows, b_next].tolist()
+            nxt_cov = cov.reshape(a, 4)[rows, b_next]
+            # Own-visited break (loop / palindromic hairpin re-entry).
+            for j in np.flatnonzero(ok):
+                if nxt_keys[j] in self.own[walk_ids[j]]:
+                    ok[j] = False
+            # Batched predecessor-uniqueness probe on the survivors.
+            cand = np.flatnonzero(ok)
+            if cand.size == 0:
+                return
+            pext = np.stack(
+                [packedmod.extend_left(nxt[cand], k, b) for b in _BASES],
+                axis=1,
+            )
+            pfound = table.has_keys(
+                packedmod.keys(
+                    packedmod.canonicalize(pext.reshape(cand.size * 4, -1), k),
+                    k,
+                )
+            )
+            ok[cand[pfound.reshape(cand.size, 4).sum(axis=1) != 1]] = False
+            # Commit surviving steps in walk order, resolving claims.
+            surv: list[int] = []
+            for j in np.flatnonzero(ok):
+                wid = int(walk_ids[j])
+                if not self.alive[wid]:
+                    continue
+                key = nxt_keys[j]
+                holder = self.claimed.get(key)
+                if holder is not None and holder != wid:
+                    if holder < wid:
+                        self.alive[wid] = False
+                        continue
+                    self.alive[holder] = False
+                self.claimed[key] = wid
+                chains[wid].append(int(b_next[j]))
+                self.own[wid].add(key)
+                self.cov_sum[wid] += nxt_cov[j]
+                self.n_kmers[wid] += 1
+                surv.append(j)
+            if not surv:
+                return
+            keep = np.array(surv, dtype=np.int64)
+            cur = nxt[keep]
+            walk_ids = walk_ids[keep]
 
-    if left:
-        # ``left`` extends the revcomp strand rightward; flip it back.
-        left_codes = bytes(left)
-        prefix = revcomp_kmer(left_codes)
-        chain = list(prefix) + chain
-    return chain, cov_sum / n, n
+    def codes_of(self, w: int) -> np.ndarray:
+        """Assembled base codes of walk ``w`` (left + seed + right)."""
+        if self._start_codes is None:
+            # One batched unpack for all seeds, on first emission.
+            self._start_codes = packedmod.unpack(self.starts, self.table.k)
+        start_codes = self._start_codes[w]
+        parts = []
+        if self.left[w]:
+            parts.append(
+                np.array(
+                    [3 - b for b in reversed(self.left[w])], dtype=np.uint8
+                )
+            )
+        parts.append(start_codes)
+        if self.right[w]:
+            parts.append(np.array(self.right[w], dtype=np.uint8))
+        if len(parts) == 1:
+            return start_codes.copy()
+        return np.concatenate(parts)
 
 
 def extract_unitigs(
     table: KmerTable,
-    seeds: Iterator[bytes] | None = None,
-    visited: set[bytes] | None = None,
+    seeds: Iterable[bytes] | np.ndarray | None = None,
+    visited: set | None = None,
 ) -> tuple[list[Unitig], int]:
     """Extract all unitigs; returns (unitigs, total_walk_steps).
 
     ``seeds`` restricts the k-mers from which walks may start (used by the
-    distributed assemblers to attribute work to ranks); by default every
-    k-mer seeds.  ``visited`` may be shared across calls so that different
-    rank shards never emit the same unitig twice.
+    distributed assemblers to attribute work to ranks): a packed ``(m, W)``
+    row array (the fast path), an iterable of code-bytes k-mers (the
+    historical API), or None for every table k-mer in sorted order.
+    ``visited`` may be shared across calls so that different rank shards
+    never emit the same unitig twice; it holds packed key scalars.
+
+    All walks advance in lockstep with batched probes, and the result is
+    provably identical — unitigs, orientation, emission order, step
+    count — to walking the seeds one at a time.
     """
     if visited is None:
         visited = set()
+    k = table.k
     if seeds is None:
-        seeds = iter(sorted(table.counts.keys()))
+        seed_rows = table.packed
+    elif isinstance(seeds, np.ndarray):
+        seed_rows = np.asarray(seeds, dtype=np.uint64).reshape(-1, table.words)
+    else:
+        seed_list = [bytes(s) for s in seeds]
+        if seed_list:
+            mat = np.frombuffer(b"".join(seed_list), dtype=np.uint8).reshape(
+                len(seed_list), k
+            )
+            seed_rows = packedmod.pack(mat)
+        else:
+            seed_rows = np.zeros((0, table.words), dtype=np.uint64)
+
+    # A seed must be present in the table under its exact (canonical) key
+    # and not already consumed by an earlier walk.
+    seed_keys = packedmod.keys(seed_rows, k)
+    in_table = table.has_keys(seed_keys)
+    key_scalars = seed_keys.tolist()
+    keep = [
+        i
+        for i in range(seed_rows.shape[0])
+        if in_table[i] and key_scalars[i] not in visited
+    ]
+    if not keep:
+        return [], 0
+
+    batch = _WalkBatch(table, np.ascontiguousarray(seed_rows[keep]))
+    batch.run()
 
     unitigs: list[Unitig] = []
     steps = 0
-    for seed in seeds:
-        if seed in visited or seed not in table.counts:
-            continue
-        chain, cov, n = _walk(table, seed, visited)
+    for w in range(len(keep)):
+        if not batch.alive[w] or batch.start_keys[w] in visited:
+            continue  # consumed by an earlier-seeded walk
+        visited |= batch.own[w]
+        n = int(batch.n_kmers[w])
         steps += n
         unitigs.append(
-            Unitig(codes=np.frombuffer(bytes(chain), dtype=np.uint8).copy(),
-                   coverage=cov, n_kmers=n)
+            Unitig(
+                codes=batch.codes_of(w),
+                coverage=float(batch.cov_sum[w]) / n,
+                n_kmers=n,
+            )
         )
     return unitigs, steps

@@ -1,16 +1,25 @@
 """Vectorized k-mer extraction, canonicalization and counting.
 
-K-mers are represented as ``bytes`` of base *codes* (one byte per base,
-values 0..3) — k up to 63 (the paper's P. crispa runs need k=63, past the
-2-bits-in-uint64 limit, so a packed-integer representation is not used).
-The canonical form of a k-mer is the lexicographic minimum of the k-mer
-and its reverse complement, computed on whole windows with numpy.
+Two representations coexist:
+
+* the historical ``bytes``-of-codes form (one byte per base, values 0..3)
+  kept for the public single-k-mer helpers and the frozen reference
+  implementation, and
+* the packed-integer form of :mod:`repro.assembly.packed` — 2 bits per
+  base in one or two ``uint64`` words (k up to 63, covering the paper's
+  deepest P. crispa runs) — used by the hot assembly paths.
+
+The packed layout is order-isomorphic to the bytes layout, so canonical
+forms, sort orders and ``np.unique`` groupings agree bit-for-bit between
+the two pipelines.  The canonical form of a k-mer is the lexicographic
+minimum of the k-mer and its reverse complement.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.assembly import packed as packedmod
 from repro.seq import alphabet
 from repro.seq.fastq import FastqRecord
 
@@ -97,6 +106,87 @@ def kmer_counts(kmer_rows: np.ndarray) -> dict[bytes, int]:
     return {
         raw[i * k : (i + 1) * k]: int(c) for i, c in enumerate(counts)
     }
+
+
+def canonical_kmers_packed(codes: np.ndarray, k: int) -> np.ndarray:
+    """Canonical k-mers of one or many sequences as packed ``(n, W)``
+    uint64 rows (see :mod:`repro.assembly.packed`).
+
+    Same extraction semantics as :func:`canonical_kmers` — N windows are
+    dropped, palindromes keep the forward strand — but the result stays
+    in packed space.
+    """
+    if k < 3:
+        raise ValueError("k must be >= 3")
+    packedmod.check_k(k)
+    win = _drop_n(_windows(np.asarray(codes, dtype=np.uint8), k))
+    if win.shape[0] == 0:
+        return np.zeros((0, packedmod.words_for(k)), dtype=np.uint64)
+    return packedmod.canonicalize(packedmod.pack(win), k)
+
+
+def canonical_kmers_varlen_packed(seqs: list[str], k: int) -> np.ndarray:
+    """Canonical packed k-mers of variable-length sequences.
+
+    All sequences are joined with single-N separators and processed in
+    one windowing/packing pass: windows crossing a read boundary contain
+    the separator N and are dropped, so the result is exactly the
+    per-read extraction concatenated in read order.
+    """
+    packedmod.check_k(k)
+    parts: list[np.ndarray] = []
+    sep = np.array([alphabet.N], dtype=np.uint8)
+    for s in seqs:
+        if len(s) >= k:
+            parts.append(alphabet.encode(s))
+            parts.append(sep)
+    if not parts:
+        return np.zeros((0, packedmod.words_for(k)), dtype=np.uint64)
+    return canonical_kmers_packed(np.concatenate(parts[:-1]), k)
+
+
+def kmer_counts_packed(
+    packed_rows: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Count packed k-mer rows: distinct rows in key order + counts.
+
+    Groups and orders exactly like :func:`kmer_counts` does on the
+    equivalent bytes rows (the packed key order is the bytes
+    lexicographic order).
+    """
+    return packedmod.unique_counts(packed_rows, k)
+
+
+def kmer_owner_packed(
+    packed_rows: np.ndarray, k: int, n_ranks: int
+) -> np.ndarray:
+    """Owner ranks of packed k-mer rows — bit-exact with :func:`kmer_owner`.
+
+    Extracts each position's 2-bit code straight from the packed words
+    and folds it with the same position-dependent multipliers and final
+    mixing as the bytes-path hash, so partitioning (and therefore every
+    alltoall payload and message count) is unchanged.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    W = packedmod.words_for(k)
+    rows = np.asarray(packed_rows, dtype=np.uint64).reshape(-1, W)
+    if rows.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        weights = np.cumprod(np.full(k, _HASH_MULTIPLIER, dtype=np.uint64))
+        h = np.zeros(rows.shape[0], dtype=np.uint64)
+        one = np.uint64(1)
+        three = np.uint64(3)
+        for i in range(k):
+            word = rows[:, 0] if i < 32 else rows[:, 1]
+            shift = np.uint64(62 - 2 * (i % 32))
+            code = (word >> shift) & three
+            h += (code + one) * weights[i]
+        h ^= h >> np.uint64(33)
+        h *= _HASH_MULTIPLIER
+        h ^= h >> np.uint64(29)
+    return (h % np.uint64(n_ranks)).astype(np.int64)
 
 
 def kmer_owner(kmer_rows: np.ndarray, n_ranks: int) -> np.ndarray:

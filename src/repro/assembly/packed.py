@@ -1,0 +1,248 @@
+"""Packed-integer k-mer codec: 2 bits per base in ``uint64`` words.
+
+A k-mer of base codes (A=0, C=1, G=2, T=3; see :mod:`repro.seq.alphabet`)
+is stored left-aligned in ``W = 1`` (k <= 32) or ``W = 2`` (33 <= k <= 63)
+big-endian-ordered 64-bit words: base ``i`` occupies bits
+``[2*i, 2*i + 2)`` counted from the top of the ``64*W``-bit window, and
+the unused low-order "slack" bits are zero.  The layout is chosen so that
+numeric comparison of the word tuple equals lexicographic comparison of
+the code string — packed canonicalization, sorted-array membership tables
+and ``np.unique`` counting all order k-mers exactly like the historical
+``bytes``-of-codes representation did.
+
+Everything here is vectorized over *rows* of shape ``(n, W)``; the only
+Python-level loops run over the k positions of a window (k <= 63), never
+over the n k-mers.  Windows must be N-free (codes 0..3) before packing —
+the extraction pipeline in :mod:`repro.assembly.kmers` drops N windows
+first, exactly as the bytes path always has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest supported k: 63 bases fill 126 of 128 bits (two words); the
+#: paper's deepest P. crispa run uses k=63.
+MAX_K = 63
+MIN_K = 3
+
+_U = np.uint64
+_TWO = _U(2)
+_FOUR = _U(4)
+_THREE = _U(3)
+_SIXTYTWO = _U(62)
+_SIXTYFOUR = _U(64)
+_ONES = _U(0xFFFFFFFFFFFFFFFF)
+_M2 = _U(0x3333333333333333)
+_M4 = _U(0x0F0F0F0F0F0F0F0F)
+
+
+def check_k(k: int) -> int:
+    if not MIN_K <= k <= MAX_K:
+        raise ValueError(f"packed k-mers require {MIN_K} <= k <= {MAX_K}, got {k}")
+    return k
+
+
+def words_for(k: int) -> int:
+    """Number of uint64 words per packed k-mer (1 or 2)."""
+    check_k(k)
+    return 1 if k <= 32 else 2
+
+
+def pack(windows: np.ndarray) -> np.ndarray:
+    """Pack ``(n, k)`` uint8 code windows into ``(n, W)`` uint64 rows."""
+    windows = np.asarray(windows, dtype=np.uint8)
+    if windows.ndim != 2:
+        raise ValueError("pack expects a 2-D (n, k) window matrix")
+    n, k = windows.shape
+    W = words_for(k)
+    out = np.zeros((n, W), dtype=_U)
+    k0 = min(k, 32)
+    w = np.zeros(n, dtype=_U)
+    for i in range(k0):
+        w = (w << _TWO) | windows[:, i].astype(_U)
+    out[:, 0] = w << _U(2 * (32 - k0))
+    if W == 2:
+        w = np.zeros(n, dtype=_U)
+        for i in range(32, k):
+            w = (w << _TWO) | windows[:, i].astype(_U)
+        out[:, 1] = w << _U(128 - 2 * k)
+    return out
+
+
+def unpack(packed: np.ndarray, k: int) -> np.ndarray:
+    """Unpack ``(n, W)`` uint64 rows back to ``(n, k)`` uint8 codes."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    out = np.empty((packed.shape[0], k), dtype=np.uint8)
+    w0 = packed[:, 0]
+    for i in range(min(k, 32)):
+        out[:, i] = ((w0 >> _U(62 - 2 * i)) & _THREE).astype(np.uint8)
+    if W == 2:
+        w1 = packed[:, 1]
+        for i in range(32, k):
+            out[:, i] = ((w1 >> _U(62 - 2 * (i - 32))) & _THREE).astype(np.uint8)
+    return out
+
+
+def _reverse_fields(w: np.ndarray) -> np.ndarray:
+    """Reverse the order of the 32 2-bit fields inside each uint64."""
+    w = ((w >> _TWO) & _M2) | ((w & _M2) << _TWO)
+    w = ((w >> _FOUR) & _M4) | ((w & _M4) << _FOUR)
+    return w.byteswap()
+
+
+def revcomp(packed: np.ndarray, k: int) -> np.ndarray:
+    """Reverse complement in packed space (complement = bitwise NOT)."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    if W == 1:
+        w = _reverse_fields(~packed[:, 0])
+        return (w << _U(64 - 2 * k))[:, None]
+    # Reverse all 64 fields of the 128-bit value, then shift the k bases
+    # (now right-aligned) back up to the top; the shifted-out high bits
+    # are exactly the complemented slack garbage.
+    hi = _reverse_fields(~packed[:, 1])
+    lo = _reverse_fields(~packed[:, 0])
+    s = _U(128 - 2 * k)  # 2..62 for k in 33..63
+    out = np.empty_like(packed)
+    out[:, 0] = (hi << s) | (lo >> (_SIXTYFOUR - s))
+    out[:, 1] = lo << s
+    return out
+
+
+def canonicalize(packed: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise min(kmer, revcomp(kmer)) under the code-lexicographic
+    order — identical tie-breaking (palindromes keep the forward strand)
+    to the historical bytes comparison."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    rc = revcomp(packed, k)
+    if W == 1:
+        take_fwd = packed[:, 0] <= rc[:, 0]
+    else:
+        take_fwd = (packed[:, 0] < rc[:, 0]) | (
+            (packed[:, 0] == rc[:, 0]) & (packed[:, 1] <= rc[:, 1])
+        )
+    return np.where(take_fwd[:, None], packed, rc)
+
+
+def extend_right(packed: np.ndarray, k: int, base) -> np.ndarray:
+    """Drop the first base and append ``base`` (scalar or per-row array):
+    the oriented successor k-mers of a walk step."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    b = np.asarray(base, dtype=_U)
+    out = np.empty_like(packed)
+    if W == 1:
+        out[:, 0] = (packed[:, 0] << _TWO) | (b << _U(64 - 2 * k))
+        return out
+    out[:, 0] = (packed[:, 0] << _TWO) | (packed[:, 1] >> _SIXTYTWO)
+    out[:, 1] = (packed[:, 1] << _TWO) | (b << _U(128 - 2 * k))
+    return out
+
+
+def extend_left(packed: np.ndarray, k: int, base) -> np.ndarray:
+    """Drop the last base and prepend ``base``: oriented predecessors."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    b = np.asarray(base, dtype=_U)
+    out = np.empty_like(packed)
+    if W == 1:
+        mask = _ONES << _U(64 - 2 * k)
+        out[:, 0] = ((packed[:, 0] >> _TWO) & mask) | (b << _SIXTYTWO)
+        return out
+    mask1 = _ONES << _U(128 - 2 * k)
+    out[:, 1] = ((packed[:, 1] >> _TWO) | (packed[:, 0] << _SIXTYTWO)) & mask1
+    out[:, 0] = (packed[:, 0] >> _TWO) | (b << _SIXTYTWO)
+    return out
+
+
+# -- sortable keys -----------------------------------------------------------
+
+
+def keys(packed: np.ndarray, k: int) -> np.ndarray:
+    """1-D sortable key per row: plain uint64 for one-word k-mers, a
+    16-byte big-endian string (``S16`` — memcmp order) for two words.
+    Key order == packed tuple order == code-lexicographic order."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    if W == 1:
+        return np.ascontiguousarray(packed[:, 0])
+    be = np.ascontiguousarray(packed).astype(">u8")
+    return np.frombuffer(be.tobytes(), dtype="S16")
+
+
+def keys_to_packed(key_arr: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`keys`."""
+    W = words_for(k)
+    if W == 1:
+        return np.asarray(key_arr, dtype=_U)[:, None]
+    raw = np.asarray(key_arr, dtype="S16").tobytes()
+    return np.frombuffer(raw, dtype=">u8").reshape(-1, 2).astype(_U)
+
+
+def key_list(packed: np.ndarray, k: int) -> list:
+    """Keys as hashable Python scalars (``int`` or ``bytes``) for sets."""
+    return keys(packed, k).tolist()
+
+
+def visited_key_array(visited: set, k: int) -> np.ndarray:
+    """A sorted key array from a set of :func:`key_list` scalars."""
+    if words_for(k) == 1:
+        arr = np.fromiter(visited, dtype=_U, count=len(visited))
+    else:
+        arr = np.array(list(visited), dtype="S16")
+    arr.sort()
+    return arr
+
+
+def packed_to_ints(packed: np.ndarray, k: int) -> list[int]:
+    """Rows as single Python ints (``w0 << 64 | w1``), preserving order —
+    hashable keys for MapReduce shuffles."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    if W == 1:
+        return packed[:, 0].tolist()
+    w0 = packed[:, 0].tolist()
+    w1 = packed[:, 1].tolist()
+    return [(a << 64) | b for a, b in zip(w0, w1)]
+
+
+def ints_to_packed(values: list[int], k: int) -> np.ndarray:
+    """Inverse of :func:`packed_to_ints`."""
+    W = words_for(k)
+    out = np.empty((len(values), W), dtype=_U)
+    if W == 1:
+        out[:, 0] = np.array(values, dtype=_U) if values else 0
+        return out
+    for i, v in enumerate(values):
+        out[i, 0] = _U(v >> 64)
+        out[i, 1] = _U(v & 0xFFFFFFFFFFFFFFFF)
+    return out
+
+
+def unique_counts(packed: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct rows (sorted in key order) and their multiplicities."""
+    W = words_for(k)
+    packed = np.asarray(packed, dtype=_U).reshape(-1, W)
+    if packed.shape[0] == 0:
+        return packed, np.zeros(0, dtype=np.int64)
+    ks = keys(packed, k)
+    _, first, counts = np.unique(ks, return_index=True, return_counts=True)
+    return packed[first], counts.astype(np.int64)
+
+
+# -- single-k-mer conveniences (legacy bytes interop) -------------------------
+
+
+def pack_bytes_kmer(kmer: bytes) -> np.ndarray:
+    """Pack one code-bytes k-mer into a ``(1, W)`` row."""
+    return pack(np.frombuffer(kmer, dtype=np.uint8)[None, :])
+
+
+def unpack_to_bytes(packed: np.ndarray, k: int) -> list[bytes]:
+    """Rows back to code-bytes k-mers."""
+    rows = unpack(packed, k)
+    raw = rows.tobytes()
+    return [raw[i * k : (i + 1) * k] for i in range(rows.shape[0])]

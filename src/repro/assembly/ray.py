@@ -9,25 +9,30 @@ owner.  Two properties matter for the paper's benchmarks:
 * extension is *latency-bound* — every remote candidate probe is a small
   message — so compute scale-out gains are marginal (Fig. 3/4).
 
-Here, ranks exchange k-mers through a real ``alltoall``, each rank counts
-its own shard, and the walking phase charges work to the rank owning each
-seed while counting one remote probe message per off-shard candidate
-query, reproducing both properties from measured quantities.
+Here, ranks exchange packed k-mer rows through a real ``alltoall``, each
+rank counts its own shard with a sorted-array :class:`KmerTable`, and the
+walking phase charges work to the rank owning each seed while counting
+one remote probe message per off-shard candidate query, reproducing both
+properties from measured quantities.  Communication is charged at the
+*logical* k-byte record size the cost model was calibrated to, not the
+16-byte packed wire size, so virtual TTCs match the bytes-era pipeline
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.assembly import packed as packedmod
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
-from repro.assembly.dbg import KMER_RECORD_BYTES, KmerTable, extract_unitigs
+from repro.assembly.dbg import KmerTable, build_kmer_table_packed
+from repro.assembly.dbg import extract_unitigs
 from repro.assembly.kmers import (
-    canonical_kmers_varlen,
-    kmer_counts,
-    kmer_owner,
-    owner_of,
+    canonical_kmers_varlen_packed,
+    kmer_counts_packed,
+    kmer_owner_packed,
 )
 from repro.parallel.comm import SimWorld
 from repro.seq.fastq import FastqRecord
@@ -38,12 +43,12 @@ def distribute_and_count(
     reads: list[FastqRecord],
     k: int,
     kind_prefix: str = "",
-) -> list[dict[bytes, int]]:
+) -> list[KmerTable]:
     """Shared first half of the MPI assemblers.
 
-    Splits reads over ranks, extracts k-mers locally, exchanges them to
-    their hash owners via alltoall, and counts each shard.  Returns the
-    per-rank count dicts (canonical k-mer -> coverage).
+    Splits reads over ranks, extracts packed k-mers locally, exchanges
+    them to their hash owners via alltoall, and counts each shard into a
+    sorted-array :class:`KmerTable`.  Returns the per-rank shard tables.
     """
     p = world.size
 
@@ -51,27 +56,41 @@ def distribute_and_count(
         send: list[list[np.ndarray]] = [[None] * p for _ in range(p)]
         for r in world.ranks():
             local_reads = reads[r::p]
-            kmers = canonical_kmers_varlen([x.seq for x in local_reads], k)
+            kmers = canonical_kmers_varlen_packed(
+                [x.seq for x in local_reads], k
+            )
             world.charge(r, float(kmers.shape[0]))
-            owners = kmer_owner(kmers, p)
+            owners = kmer_owner_packed(kmers, k, p)
             for dst in range(p):
                 send[r][dst] = kmers[owners == dst]
-        recv = world.alltoall(send)
+        # Rows travel packed (16 B) but are charged at their logical
+        # k-byte record size — the quantity the cost model prices.
+        recv = world.alltoall(send, nbytes_of=lambda a: a.shape[0] * k)
 
     with world.phase(f"{kind_prefix}kmer_count", kind="kmer"):
-        shards: list[dict[bytes, int]] = []
+        shards: list[KmerTable] = []
         for r in world.ranks():
             mine = [m for m in recv[r] if m is not None and m.size]
             stacked = (
                 np.concatenate(mine, axis=0)
                 if mine
-                else np.zeros((0, k), dtype=np.uint8)
+                else np.zeros((0, packedmod.words_for(k)), dtype=np.uint64)
             )
             world.charge(r, float(stacked.shape[0]))
-            shard = kmer_counts(stacked)
+            shard = build_kmer_table_packed(
+                k, *kmer_counts_packed(stacked, k)
+            )
             shards.append(shard)
-            world.record_memory(r, len(shard) * KMER_RECORD_BYTES)
+            world.record_memory(r, shard.memory_bytes())
     return shards
+
+
+def merge_shards(k: int, shards: list[KmerTable]) -> KmerTable:
+    """Union of disjoint per-rank shard tables (a local-execution
+    convenience; work and messages stay attributed per owner rank)."""
+    rows = np.concatenate([s.packed for s in shards], axis=0)
+    counts = np.concatenate([s.count_array for s in shards])
+    return build_kmer_table_packed(k, rows, counts)
 
 
 class RayAssembler:
@@ -95,27 +114,20 @@ class RayAssembler:
         with world.phase("graph_build", kind="graph"):
             for r in world.ranks():
                 shard = shards[r]
-                doomed = [km for km, c in shard.items() if c < params.min_count]
-                for km in doomed:
-                    del shard[km]
-                world.charge(r, float(len(shard) + len(doomed)))
-                world.record_memory(r, len(shard) * KMER_RECORD_BYTES)
+                removed = shard.drop_below(params.min_count)
+                world.charge(r, float(len(shard) + removed))
+                world.record_memory(r, shard.memory_bytes())
 
-        # The walking phase needs remote membership probes; the merged
-        # table is a local-execution convenience — work and messages are
-        # attributed per owner rank exactly as the distributed walk would.
-        merged: dict[bytes, int] = {}
-        for shard in shards:
-            merged.update(shard)
-        table = KmerTable(k=k, counts=merged)
+        table = merge_shards(k, shards)
 
         with world.phase("extension_walk", kind="walk"):
-            visited: set[bytes] = set()
+            visited: set = set()
             all_unitigs = []
             total_probes = 0
             for r in world.ranks():
-                seeds = sorted(shards[r].keys())
-                unitigs, steps = extract_unitigs(table, iter(seeds), visited)
+                unitigs, steps = extract_unitigs(
+                    table, seeds=shards[r].packed, visited=visited
+                )
                 all_unitigs.extend(unitigs)
                 world.charge(r, float(steps))
                 # Each extension step probes ~4 candidate successors and

@@ -13,11 +13,15 @@ lower nucleotide-level precision, comparable weighted k-mer scores.
 
 from __future__ import annotations
 
+from repro.assembly import packed as packedmod
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
-from repro.assembly.dbg import build_kmer_table, extract_unitigs
-from repro.assembly.kmers import canonical_kmers_varlen, kmer_counts
+from repro.assembly.dbg import build_kmer_table_packed, extract_unitigs
+from repro.assembly.kmers import (
+    canonical_kmers_varlen_packed,
+    kmer_counts_packed,
+)
 from repro.parallel.usage import PhaseUsage, ResourceUsage
 from repro.seq.fastq import FastqRecord
 
@@ -49,15 +53,13 @@ class TrinityAssembler:
             if end >= TRINITY_K:
                 trimmed.append(r.seq[:end])
 
-        depth: dict[bytes, int] = {}
+        depth: dict[int, int] = {}
         out = []
         for seq in trimmed:
-            rows = canonical_kmers_varlen([seq], TRINITY_K)
+            rows = canonical_kmers_varlen_packed([seq], TRINITY_K)
             if rows.shape[0] == 0:
                 continue
-            k = TRINITY_K
-            raw = rows.tobytes()
-            keys = [raw[i * k : (i + 1) * k] for i in range(rows.shape[0])]
+            keys = packedmod.key_list(rows, TRINITY_K)
             counts = sorted(depth.get(key, 0) for key in keys)
             if counts[len(counts) // 2] >= self.normalize_depth:
                 continue  # locus already saturated
@@ -82,7 +84,7 @@ class TrinityAssembler:
         usage = ResourceUsage(n_ranks=1)
 
         seqs = self.prepare_reads(reads)
-        kmers = canonical_kmers_varlen(seqs, TRINITY_K)
+        kmers = canonical_kmers_varlen_packed(seqs, TRINITY_K)
         usage.add_phase(
             PhaseUsage(
                 name="kmer_count",
@@ -92,14 +94,18 @@ class TrinityAssembler:
             )
         )
 
-        table = build_kmer_table(TRINITY_K, kmer_counts(kmers))
+        table = build_kmer_table_packed(
+            TRINITY_K, *kmer_counts_packed(kmers, TRINITY_K)
+        )
         # Trinity's Inchworm prunes k-mers relative to the run's depth
         # (coverage-aware error pruning, unlike the pipeline's fixed
         # min_count=2 + dedup).  The depth-proportional threshold keeps
         # well-covered loci pristine at the cost of shallow transcripts —
         # the paper's Table V signature for Trinity: weighted k-mer scores
         # stay high while nucleotide-level recall drops.
-        recurrent = sorted(c for c in table.counts.values() if c >= 2)
+        recurrent = sorted(
+            c for c in table.count_array.tolist() if c >= 2
+        )
         p90 = recurrent[int(len(recurrent) * 0.9)] if recurrent else 1
         min_count = max(3, int(p90 // 4))
         eff = AssemblyParams(

@@ -12,8 +12,11 @@ from __future__ import annotations
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
-from repro.assembly.dbg import build_kmer_table, extract_unitigs
-from repro.assembly.kmers import canonical_kmers_varlen, kmer_counts
+from repro.assembly.dbg import build_kmer_table_packed, extract_unitigs
+from repro.assembly.kmers import (
+    canonical_kmers_varlen_packed,
+    kmer_counts_packed,
+)
 from repro.parallel.usage import PhaseUsage, ResourceUsage
 from repro.seq.fastq import FastqRecord
 
@@ -31,7 +34,7 @@ class VelvetAssembler:
     ) -> AssemblyResult:
         usage = ResourceUsage(n_ranks=1)
 
-        kmers = canonical_kmers_varlen([r.seq for r in reads], params.k)
+        kmers = canonical_kmers_varlen_packed([r.seq for r in reads], params.k)
         usage.add_phase(
             PhaseUsage(
                 name="kmer_count",
@@ -42,7 +45,9 @@ class VelvetAssembler:
             )
         )
 
-        table = build_kmer_table(params.k, kmer_counts(kmers))
+        table = build_kmer_table_packed(
+            params.k, *kmer_counts_packed(kmers, params.k)
+        )
         table.drop_below(params.min_count)
         usage.peak_rank_memory_bytes = table.memory_bytes()
         usage.add_phase(

@@ -3,9 +3,16 @@
 DETONATE's nucleotide-level metrics need, for every assembled contig, the
 reference positions it matches.  Contigs here are high-identity (they come
 from DBG assembly of simulated reads), so a simple seed-and-vote aligner
-is accurate: hash every reference k-mer, collect a contig's seed hits,
+is accurate: index every reference k-mer, collect a contig's seed hits,
 vote on (transcript, diagonal), and score the best diagonal with a direct
 vectorized base comparison.  Both strands are tried.
+
+Seeds are packed 3 bits per base into a single ``uint64`` (3 bits so the
+N code participates byte-for-byte like the historical bytes-slice keys
+did), the index is a seed-sorted array triplet built with one argsort per
+reference, and ``seed_hits`` resolves every contig position with two
+batched ``np.searchsorted`` calls instead of a Python dict probe per
+position.
 """
 
 from __future__ import annotations
@@ -19,6 +26,22 @@ from repro.seq import alphabet
 from repro.seq.alphabet import encode
 
 SEED_K = 15
+
+#: 3 bits per base (codes 0..4 including N) in one uint64.
+_MAX_SEED_K = 21
+
+
+def _pack_seeds(codes: np.ndarray, k: int) -> np.ndarray:
+    """All length-k windows of ``codes`` packed into uint64 scalars.
+
+    Equal packed values <=> equal byte windows (N included), exactly the
+    equality the historical bytes-slice index keys provided.
+    """
+    if codes.shape[0] < k:
+        return np.zeros(0, dtype=np.uint64)
+    win = np.lib.stride_tricks.sliding_window_view(codes, k)
+    weights = (np.uint64(1) << (np.uint64(3) * np.arange(k - 1, -1, -1, dtype=np.uint64)))
+    return (win.astype(np.uint64) * weights[None, :]).sum(axis=1, dtype=np.uint64)
 
 
 @dataclass(frozen=True)
@@ -38,29 +61,68 @@ class Alignment:
 
 
 class AlignmentIndex:
-    """Seed index over a set of reference sequences."""
+    """Seed index over a set of reference sequences.
+
+    Stored as three aligned arrays sorted by packed seed value: the seed,
+    its transcript id and its reference position.  Ties keep (tid, pos)
+    insertion order, so vote accumulation order — and therefore
+    ``Counter.most_common`` tie-breaking — matches the historical
+    dict-of-lists index.
+    """
 
     def __init__(self, references: list[str], seed_k: int = SEED_K) -> None:
         if seed_k < 8:
             raise ValueError("seed_k must be >= 8")
+        if seed_k > _MAX_SEED_K:
+            raise ValueError(f"seed_k must be <= {_MAX_SEED_K}")
         self.seed_k = seed_k
         self.references = references
         self.ref_codes = [encode(r) for r in references]
-        self._index: dict[bytes, list[tuple[int, int]]] = {}
+
+        seed_parts: list[np.ndarray] = []
+        tid_parts: list[np.ndarray] = []
+        pos_parts: list[np.ndarray] = []
         for tid, codes in enumerate(self.ref_codes):
-            raw = codes.tobytes()
-            for pos in range(len(raw) - seed_k + 1):
-                seed = raw[pos : pos + seed_k]
-                self._index.setdefault(seed, []).append((tid, pos))
+            seeds = _pack_seeds(codes, seed_k)
+            if seeds.shape[0] == 0:
+                continue
+            seed_parts.append(seeds)
+            tid_parts.append(np.full(seeds.shape[0], tid, dtype=np.int64))
+            pos_parts.append(np.arange(seeds.shape[0], dtype=np.int64))
+        if seed_parts:
+            seeds = np.concatenate(seed_parts)
+            order = np.argsort(seeds, kind="stable")
+            self._seeds = seeds[order]
+            self._tids = np.concatenate(tid_parts)[order]
+            self._positions = np.concatenate(pos_parts)[order]
+        else:
+            self._seeds = np.zeros(0, dtype=np.uint64)
+            self._tids = np.zeros(0, dtype=np.int64)
+            self._positions = np.zeros(0, dtype=np.int64)
 
     def seed_hits(self, codes: np.ndarray) -> Counter:
         """(transcript, diagonal) vote counts for a contig's seeds."""
         votes: Counter = Counter()
-        raw = codes.tobytes()
-        k = self.seed_k
-        for pos in range(0, len(raw) - k + 1):
-            for tid, rpos in self._index.get(raw[pos : pos + k], ()):
-                votes[(tid, rpos - pos)] += 1
+        query = _pack_seeds(np.asarray(codes, dtype=np.uint8), self.seed_k)
+        if query.shape[0] == 0 or self._seeds.shape[0] == 0:
+            return votes
+        lo = np.searchsorted(self._seeds, query, side="left")
+        hi = np.searchsorted(self._seeds, query, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return votes
+        # Expand [lo, hi) ranges into flat index-entry positions, ordered
+        # by contig position then by index order within each seed group.
+        cum = np.cumsum(counts)
+        offsets = np.arange(total) - np.repeat(cum - counts, counts)
+        entries = np.repeat(lo, counts) + offsets
+        contig_pos = np.repeat(
+            np.arange(query.shape[0], dtype=np.int64), counts
+        )
+        tids = self._tids[entries]
+        diags = self._positions[entries] - contig_pos
+        votes.update(zip(tids.tolist(), diags.tolist()))
         return votes
 
 

@@ -21,8 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.assembly import packed as packedmod
 from repro.assembly.contigs import Contig
-from repro.assembly.kmers import canonical_kmers_varlen
+from repro.assembly.kmers import canonical_kmers_varlen_packed
 from repro.evaluation.align import AlignmentIndex, align_contig
 from repro.seq.alphabet import encode, reverse_complement
 from repro.seq.transcriptome import Transcriptome
@@ -47,12 +48,12 @@ class DetonateScores:
         return (self.precision, self.recall, self.f1)
 
 
-def _kmer_set(seqs: list[str], k: int) -> set[bytes]:
-    rows = canonical_kmers_varlen(seqs, k)
+def _kmer_set(seqs: list[str], k: int) -> set:
+    """Distinct canonical k-mers as packed key scalars."""
+    rows = canonical_kmers_varlen_packed(seqs, k)
     if rows.size == 0:
         return set()
-    raw = np.ascontiguousarray(rows).tobytes()
-    return {raw[i * k : (i + 1) * k] for i in range(rows.shape[0])}
+    return set(packedmod.key_list(rows, k))
 
 
 def evaluate(

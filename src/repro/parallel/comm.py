@@ -132,16 +132,27 @@ class SimWorld:
 
     # -- collectives -----------------------------------------------------------
 
-    def alltoall(self, send: Sequence[Sequence[Any]]) -> list[list[Any]]:
+    def alltoall(
+        self,
+        send: Sequence[Sequence[Any]],
+        nbytes_of: Callable[[Any], int] | None = None,
+    ) -> list[list[Any]]:
         """All-to-all personalized exchange.
 
         ``send[src][dst]`` is the payload from ``src`` to ``dst``; the
         return value ``recv`` satisfies ``recv[dst][src] == send[src][dst]``.
         Only off-diagonal payloads count as communication.
+
+        ``nbytes_of`` overrides the payload-size measure for accounting.
+        The cost model is calibrated to the *logical* record size of a
+        payload (e.g. k bytes per k-mer); callers shipping a compressed
+        physical representation pass the logical measure here so charged
+        communication stays identical to the uncompressed exchange.
         """
         self._check_matrix(send)
+        measure = nbytes if nbytes_of is None else nbytes_of
         off_node = sum(
-            nbytes(send[s][d])
+            measure(send[s][d])
             for s in range(self.size)
             for d in range(self.size)
             if s != d

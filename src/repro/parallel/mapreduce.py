@@ -32,12 +32,19 @@ class MRJob:
     The combiner, when given, runs on each mapper's local output groups
     before the shuffle (the standard Hadoop optimization) and must be
     semantically compatible with the reducer.
+
+    ``key_nbytes``, when given, overrides how intermediate keys are
+    priced in the shuffle and reducer-memory accounting.  Jobs whose keys
+    are a compressed stand-in for a logical record (e.g. packed-integer
+    k-mers standing in for k code bytes) pass the logical size here so
+    the charged bytes stay identical to shuffling the uncompressed keys.
     """
 
     name: str
     mapper: Mapper
     reducer: Reducer
     combiner: Reducer | None = None
+    key_nbytes: Callable[[Hashable], int] | None = None
 
 
 @dataclass
@@ -112,15 +119,21 @@ class MapReduceEngine:
             map_outputs_per_task.append(local)
 
         # Shuffle: hash-partition intermediate keys over reduce tasks.
+        key_size = job.key_nbytes if job.key_nbytes is not None else nbytes
         for local in map_outputs_per_task:
             for k, vs in local.items():
                 dest = hash(k) % n
-                stats.shuffle_bytes += nbytes(k) + nbytes(vs)
+                stats.shuffle_bytes += key_size(k) + nbytes(vs)
                 partitions[dest].setdefault(k, []).extend(vs)
 
         # Track reducer-side memory: the largest partition must fit.
+        # Mirrors nbytes(dict) = sum over items + container overhead, with
+        # keys priced through the job's key measure.
         if partitions:
-            part_bytes = max(nbytes(p) for p in partitions)
+            part_bytes = max(
+                sum(key_size(k) + nbytes(vs) for k, vs in p.items()) + 16
+                for p in partitions
+            )
             self._peak_memory = max(self._peak_memory, part_bytes)
 
         # Sort + Reduce.

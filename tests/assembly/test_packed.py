@@ -1,0 +1,216 @@
+"""Unit and property tests for the 2-bit packed k-mer codec.
+
+The packed engine must be a drop-in, bit-exact replacement for the bytes
+representation, so every operation is checked against the straightforward
+byte-level definition: pack/unpack roundtrips, reverse complement,
+canonicalization (including palindromes), key ordering, and the word
+boundaries k=32/33 and the k=63 ceiling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembly import packed
+from repro.assembly.kmers import (
+    _canonicalize,
+    canonical_kmers,
+    canonical_kmers_packed,
+    canonical_kmers_varlen,
+    canonical_kmers_varlen_packed,
+    kmer_counts,
+    kmer_counts_packed,
+    kmer_owner,
+    kmer_owner_packed,
+)
+from repro.seq.alphabet import encode
+
+BOUNDARY_KS = (3, 31, 32, 33, 63)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_with_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+def _random_windows(rng, n, k):
+    return rng.integers(0, 4, size=(n, k)).astype(np.uint8)
+
+
+class TestCheckK:
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            packed.check_k(2)
+
+    def test_rejects_beyond_max(self):
+        with pytest.raises(ValueError):
+            packed.check_k(64)
+
+    def test_words_for_boundary(self):
+        assert packed.words_for(32) == 1
+        assert packed.words_for(33) == 2
+        assert packed.words_for(63) == 2
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_pack_unpack_roundtrip(self, k):
+        rng = np.random.default_rng(k)
+        win = _random_windows(rng, 64, k)
+        assert np.array_equal(packed.unpack(packed.pack(win), k), win)
+
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_slack_bits_are_zero(self, k):
+        # Canonical form: everything below the 2k payload bits is zero,
+        # so packed equality == k-mer equality.
+        rng = np.random.default_rng(k + 100)
+        rows = packed.pack(_random_windows(rng, 32, k))
+        W = packed.words_for(k)
+        slack = 64 * W - 2 * k
+        if slack:
+            assert not (rows[:, W - 1] & ((np.uint64(1) << np.uint64(slack)) - np.uint64(1))).any()
+
+    def test_empty_input(self):
+        empty = np.zeros((0, 33), dtype=np.uint8)
+        rows = packed.pack(empty)
+        assert rows.shape == (0, 2)
+        assert packed.unpack(rows, 33).shape == (0, 33)
+
+    def test_bytes_kmer_roundtrip(self):
+        km = bytes(encode("ACGTACGTACGTACGTACGTACGTACGTACGTA").tolist())
+        rows = packed.pack_bytes_kmer(km)
+        assert packed.unpack_to_bytes(rows, len(km)) == [km]
+
+
+class TestRevcompCanonical:
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_revcomp_matches_bytes_definition(self, k):
+        rng = np.random.default_rng(k + 7)
+        win = _random_windows(rng, 64, k)
+        rc = (3 - win)[:, ::-1]
+        got = packed.unpack(packed.revcomp(packed.pack(win), k), k)
+        assert np.array_equal(got, rc)
+
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_revcomp_involution(self, k):
+        rng = np.random.default_rng(k + 13)
+        rows = packed.pack(_random_windows(rng, 64, k))
+        assert np.array_equal(packed.revcomp(packed.revcomp(rows, k), k), rows)
+
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_canonicalize_matches_bytes_path(self, k):
+        rng = np.random.default_rng(k + 23)
+        win = _random_windows(rng, 128, k)
+        expect = _canonicalize(win)
+        got = packed.unpack(packed.canonicalize(packed.pack(win), k), k)
+        assert np.array_equal(got, expect)
+
+    @pytest.mark.parametrize("k", (4, 32, 62))
+    def test_palindromes_are_fixed_points(self, k):
+        # Even-length DNA palindromes equal their own revcomp; canonical
+        # form must pick the forward orientation and stay stable.
+        rng = np.random.default_rng(k)
+        half = rng.integers(0, 4, size=(16, k // 2)).astype(np.uint8)
+        win = np.concatenate([half, (3 - half)[:, ::-1]], axis=1)
+        rows = packed.pack(win)
+        assert np.array_equal(packed.revcomp(rows, k), rows)
+        assert np.array_equal(packed.canonicalize(rows, k), rows)
+
+
+class TestKeysAndOrder:
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_key_sort_matches_lexicographic_bytes_sort(self, k):
+        rng = np.random.default_rng(k + 31)
+        win = _random_windows(rng, 200, k)
+        rows = packed.pack(win)
+        order = np.argsort(packed.keys(rows, k), kind="stable")
+        as_bytes = [bytes(r.tolist()) for r in win]
+        assert [as_bytes[i] for i in order] == sorted(as_bytes)
+
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_keys_to_packed_roundtrip(self, k):
+        rng = np.random.default_rng(k + 37)
+        rows = packed.pack(_random_windows(rng, 50, k))
+        back = packed.keys_to_packed(packed.keys(rows, k), k)
+        assert np.array_equal(back, rows)
+
+    @pytest.mark.parametrize("k", BOUNDARY_KS)
+    def test_int_roundtrip(self, k):
+        rng = np.random.default_rng(k + 41)
+        rows = packed.pack(_random_windows(rng, 50, k))
+        ints = packed.packed_to_ints(rows, k)
+        assert np.array_equal(packed.ints_to_packed(ints, k), rows)
+
+    @pytest.mark.parametrize("k", (31, 33))
+    def test_extend_right_left_match_byte_shifts(self, k):
+        rng = np.random.default_rng(k)
+        win = _random_windows(rng, 40, k)
+        rows = packed.pack(win)
+        for b in range(4):
+            right = np.concatenate(
+                [win[:, 1:], np.full((win.shape[0], 1), b, dtype=np.uint8)], axis=1
+            )
+            left = np.concatenate(
+                [np.full((win.shape[0], 1), b, dtype=np.uint8), win[:, :-1]], axis=1
+            )
+            assert np.array_equal(
+                packed.unpack(packed.extend_right(rows, k, b), k), right
+            )
+            assert np.array_equal(
+                packed.unpack(packed.extend_left(rows, k, b), k), left
+            )
+
+
+class TestPipelineParity:
+    """The packed read->k-mer pipeline must agree with the bytes pipeline."""
+
+    @given(dna_with_n, st.sampled_from(BOUNDARY_KS))
+    def test_canonical_extraction_parity(self, seq, k):
+        rows = canonical_kmers_packed(encode(seq), k)
+        expect = canonical_kmers(encode(seq), k)
+        assert rows.shape == (expect.shape[0], packed.words_for(k))
+        assert packed.unpack_to_bytes(rows, k) == [
+            bytes(r.tolist()) for r in expect
+        ]
+
+    @given(st.lists(dna_with_n, max_size=8), st.sampled_from((31, 33)))
+    def test_varlen_parity(self, seqs, k):
+        rows = canonical_kmers_varlen_packed(seqs, k)
+        expect = canonical_kmers_varlen(seqs, k)
+        assert packed.unpack_to_bytes(rows, k) == [
+            bytes(r.tolist()) for r in expect
+        ]
+
+    @given(st.lists(dna, min_size=1, max_size=6), st.sampled_from((31, 63)))
+    def test_counts_parity(self, seqs, k):
+        brows = canonical_kmers_varlen(seqs, k)
+        prows, pcounts = kmer_counts_packed(
+            canonical_kmers_varlen_packed(seqs, k), k
+        )
+        expect = kmer_counts(brows)
+        got = dict(
+            zip(packed.unpack_to_bytes(prows, k), pcounts.tolist())
+        )
+        assert got == expect
+
+    @given(dna, st.sampled_from((31, 33, 63)), st.sampled_from((2, 8)))
+    def test_owner_parity(self, seq, k, n_ranks):
+        brows = canonical_kmers(encode(seq), k)
+        prows = canonical_kmers_packed(encode(seq), k)
+        assert np.array_equal(
+            kmer_owner_packed(prows, k, n_ranks), kmer_owner(brows, n_ranks)
+        )
+
+    def test_empty_reads(self):
+        for k in BOUNDARY_KS:
+            assert canonical_kmers_varlen_packed([], k).shape == (
+                0,
+                packed.words_for(k),
+            )
+            assert canonical_kmers_varlen_packed(["", "AC"], k).shape[0] == 0
+            rows, counts = kmer_counts_packed(
+                canonical_kmers_varlen_packed([], k), k
+            )
+            assert rows.shape[0] == 0 and counts.shape[0] == 0
+
+    def test_all_n_read_yields_nothing(self):
+        assert canonical_kmers_packed(encode("N" * 80), 31).shape[0] == 0
