@@ -1,0 +1,92 @@
+"""Tracing overhead on the Fig. 4 Ray-scaling workload.
+
+The observability layer promises to be (a) zero-cost when disabled — the
+default :class:`~repro.obs.NullTracer` turns every instrumentation point
+into a cheap attribute check — and (b) cheap enough when enabled that
+traced benchmark sessions stay representative.  This benchmark prices
+both promises on the same workload as ``test_kmer_engine.py``: Ray on
+the full P. crispa bench data at k=51 on 8 ranks.  Results are written
+to ``BENCH_obs_overhead.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.assembly.base import AssemblyParams
+from repro.assembly.ray import RayAssembler
+from repro.bench import harness
+from repro.obs import NullTracer, Tracer, use_tracer
+
+DATASET = "P_crispa"
+K = 51
+N_RANKS = 8
+REPEATS = 3
+#: Enabled tracing must stay under this fractional slowdown.
+MAX_TRACED_OVERHEAD = 0.05
+#: The no-op tracer must be indistinguishable from baseline (noise floor).
+MAX_NULL_OVERHEAD = 0.03
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+
+def _min_wall(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_tracing_overhead(report_sink):
+    reads = harness.bench_dataset(DATASET).run.all_reads()
+    params = AssemblyParams(k=K, min_contig_length=max(100, K))
+
+    def workload():
+        return RayAssembler().assemble(reads, params, n_ranks=N_RANKS)
+
+    workload()  # warm caches outside the timed runs
+
+    t_baseline = _min_wall(workload)  # default: module-level NullTracer
+
+    with use_tracer(NullTracer()):
+        t_null = _min_wall(workload)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        t_traced = _min_wall(workload)
+
+    # the traced runs actually recorded something
+    assert tracer.events, "traced workload emitted no events"
+
+    null_overhead = t_null / t_baseline - 1.0
+    traced_overhead = t_traced / t_baseline - 1.0
+
+    record = {
+        "workload": {
+            "dataset": DATASET,
+            "n_reads": len(reads),
+            "assembler": "ray",
+            "k": K,
+            "n_ranks": N_RANKS,
+            "repeats": REPEATS,
+        },
+        "baseline_wall_s": round(t_baseline, 4),
+        "null_tracer_wall_s": round(t_null, 4),
+        "traced_wall_s": round(t_traced, 4),
+        "null_overhead_frac": round(null_overhead, 4),
+        "traced_overhead_frac": round(traced_overhead, 4),
+        "events_recorded": len(tracer.events),
+        "max_traced_overhead": MAX_TRACED_OVERHEAD,
+        "max_null_overhead": MAX_NULL_OVERHEAD,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    report_sink.append(
+        f"tracing overhead ({DATASET}, ray k={K}, {N_RANKS} ranks): "
+        f"baseline {t_baseline:.3f}s, null {t_null:.3f}s "
+        f"({null_overhead:+.1%}), traced {t_traced:.3f}s "
+        f"({traced_overhead:+.1%})"
+    )
+    assert null_overhead < MAX_NULL_OVERHEAD
+    assert traced_overhead < MAX_TRACED_OVERHEAD

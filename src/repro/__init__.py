@@ -32,7 +32,13 @@ evaluation
     DETONATE-style reference-based transcript assembly evaluation.
 bench
     Experiment harness and cost-model calibration for every table/figure.
+obs
+    Observability: dual-clock (virtual + real) span/event tracing, a
+    metrics registry, JSONL / Chrome-trace / text exporters and the
+    ``python -m repro.obs.report`` CLI.
 """
+
+import logging as _logging
 
 __version__ = "1.0.0"
 
@@ -45,4 +51,9 @@ __all__ = [
     "core",
     "evaluation",
     "bench",
+    "obs",
 ]
+
+# Library logging convention: quiet unless the application configures
+# handlers (repro.obs.logging_setup is the batteries-included way).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())

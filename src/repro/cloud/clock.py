@@ -4,6 +4,11 @@ Every TTC and cost figure in the reproduction is measured on this clock.
 The event queue is a plain heap keyed by (time, sequence) so simultaneous
 events fire in submission order — enough for the pipeline's needs and
 fully deterministic.
+
+Every scheduled event carries a ``tag`` naming the action; untagged
+submissions default to the action's qualified name, so the tracer (and
+tests) can always see which scheduled action fired — :meth:`EventQueue.step`
+returns the fired tag and emits an ``eq.fire`` trace event.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.obs import get_tracer
 
 
 class ClockError(RuntimeError):
@@ -58,14 +65,22 @@ class EventQueue:
         self.clock = clock if clock is not None else SimClock()
         self._heap: list[_Event] = []
         self._seq = itertools.count()
+        #: Tag of the most recently fired event (None before the first).
+        self.last_tag: str | None = None
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def schedule_at(self, t: float, action: Callable[[], Any], tag: str = "") -> None:
-        """Schedule ``action`` at absolute time ``t``."""
+        """Schedule ``action`` at absolute time ``t``.
+
+        ``tag`` names the action for observability; when empty it is
+        derived from the action's qualified name so no event is anonymous.
+        """
         if t < self.clock.now - 1e-9:
             raise ClockError(f"cannot schedule in the past ({t} < {self.clock.now})")
+        if not tag:
+            tag = getattr(action, "__qualname__", "") or type(action).__name__
         heapq.heappush(self._heap, _Event(t, next(self._seq), action, tag))
 
     def schedule_in(self, dt: float, action: Callable[[], Any], tag: str = "") -> None:
@@ -74,22 +89,35 @@ class EventQueue:
             raise ClockError(f"negative delay {dt}")
         self.schedule_at(self.clock.now + dt, action, tag)
 
-    def step(self) -> bool:
-        """Fire the next event (advancing the clock); False when empty."""
+    def step(self) -> str | None:
+        """Fire the next event (advancing the clock).
+
+        Returns the fired event's tag, or ``None`` when the queue is
+        empty — test emptiness with ``is None``, not truthiness.
+        """
         if not self._heap:
-            return False
+            return None
         ev = heapq.heappop(self._heap)
         self.clock.advance_to(ev.time)
+        self.last_tag = ev.tag
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("eq.fire", category="events", v=ev.time, tag=ev.tag)
         ev.action()
-        return True
+        return ev.tag
 
-    def run(self, until: float | None = None) -> None:
-        """Drain the queue, optionally stopping once ``until`` is reached."""
+    def run(self, until: float | None = None) -> list[str]:
+        """Drain the queue, optionally stopping once ``until`` is reached;
+        returns the tags of the events fired, in firing order."""
+        fired: list[str] = []
         while self._heap:
             if until is not None and self._heap[0].time > until:
                 self.clock.advance_to(until)
-                return
-            self.step()
+                return fired
+            tag = self.step()
+            if tag is not None:
+                fired.append(tag)
+        return fired
 
     def peek_time(self) -> float | None:
         return self._heap[0].time if self._heap else None

@@ -15,6 +15,7 @@ from repro.cloud.ec2 import EC2Region
 from repro.cloud.instances import InstanceType
 from repro.cloud.sge import SGEScheduler
 from repro.cloud.vm import VM, VMState
+from repro.obs import get_tracer
 from repro.parallel.costmodel import MachineConfig
 
 #: StarCluster configuration time (NFS export, SGE install, host keys).
@@ -114,8 +115,21 @@ def build_cluster(
     """Launch VMs and configure them as an SGE cluster (StarCluster)."""
     if n_nodes < 1:
         raise ClusterError("n_nodes must be >= 1")
+    t0 = region.clock.now
     vms = region.run_instances(itype, n_nodes)
     region.clock.advance(setup_seconds)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add_span(
+            f"cluster.setup:{name}",
+            v_start=t0,
+            v_end=region.clock.now,
+            category="cloud",
+            process="ec2",
+            cluster=name,
+            n_nodes=n_nodes,
+            instance_type=vms[0].itype.name,
+        )
     scheduler = SGEScheduler(events, {vm.vm_id: vm.itype.vcpus for vm in vms})
     return Cluster(name=name, vms=vms, scheduler=scheduler, events=events)
 

@@ -15,6 +15,7 @@ from repro.cloud.billing import BillingLedger
 from repro.cloud.clock import SimClock
 from repro.cloud.instances import InstanceType, get_instance_type
 from repro.cloud.vm import VM, VMError, VMState
+from repro.obs import get_tracer
 
 #: Time from RunInstances to a usable node (boot + contextualization).
 DEFAULT_PROVISION_SECONDS = 90.0
@@ -56,6 +57,20 @@ class EC2Region:
         self.clock.advance(self.provision_seconds)
         for vm in batch:
             vm.mark_running(self.clock.now)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "vm.provision",
+                v_start=launched_at,
+                v_end=self.clock.now,
+                category="cloud",
+                process="ec2",
+                count=count,
+                instance_type=itype.name,
+                vm_ids=[vm.vm_id for vm in batch],
+            )
+            tracer.count("vms_launched", count)
+            tracer.gauge("vms_running", len(self.running()))
         return batch
 
     def terminate(self, vm: VM) -> None:
@@ -63,7 +78,23 @@ class EC2Region:
         if vm.vm_id not in self.vms:
             raise VMError(f"unknown VM {vm.vm_id}")
         vm.mark_terminated(self.clock.now)
-        self.ledger.charge_vm(vm, self.clock.now)
+        line = self.ledger.charge_vm(vm, self.clock.now)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "vm.lifetime",
+                v_start=vm.launched_at,
+                v_end=self.clock.now,
+                category="cloud",
+                process="ec2",
+                thread=vm.vm_id,
+                instance_type=vm.itype.name,
+                hours_billed=line.hours_billed,
+                cost_usd=line.cost,
+            )
+            tracer.count("vms_terminated")
+            tracer.count("billed_usd", line.cost)
+            tracer.gauge("vms_running", len(self.running()))
 
     def terminate_all(self, vms: list[VM] | None = None) -> None:
         targets = vms if vms is not None else list(self.vms.values())

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cloud.clock import EventQueue
+from repro.obs import get_tracer
 
 
 class SGEError(RuntimeError):
@@ -146,18 +147,48 @@ class SGEScheduler:
         job.allocation = alloc
         job.state = JobState.RUNNING
         job.started_at = self.events.clock.now
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "sge.start",
+                category="sge",
+                process="sge",
+                thread=job.name,
+                job_id=job.job_id,
+                slots=job.slots,
+                nodes=len(alloc),
+                wait_seconds=job.wait_seconds,
+            )
         duration = (
             job.duration(alloc) if callable(job.duration) else float(job.duration)
         )
         if duration < 0:
             raise SGEError(f"negative duration for job {job.name!r}")
-        self.events.schedule_in(duration, lambda: self._finish(job), tag=job.name)
+        self.events.schedule_in(
+            duration, lambda: self._finish(job), tag=f"sge.finish:{job.name}"
+        )
 
     def _finish(self, job: SGEJob) -> None:
         job.state = JobState.DONE
         job.finished_at = self.events.clock.now
         for node, n in job.allocation.items():
             self.slots_free[node] += n
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                f"sge:{job.name}",
+                v_start=job.started_at,
+                v_end=job.finished_at,
+                category="sge",
+                process="sge",
+                thread=job.name,
+                job_id=job.job_id,
+                slots=job.slots,
+                nodes=len(job.allocation),
+                wait_seconds=job.wait_seconds,
+            )
+            tracer.count("sge_jobs_done")
+            tracer.observe("sge_wait_seconds", job.wait_seconds)
         if job.on_complete is not None:
             job.on_complete(job)
         self._try_schedule()

@@ -27,6 +27,7 @@ from repro.core.merge import MergeResult, merge_contigs
 from repro.core.quantify import QuantificationResult, quantify
 from repro.core.schemes import MatchingScheme
 from repro.core.workflow import StageReport, WorkflowPattern
+from repro.obs import Tracer, get_tracer, use_tracer
 from repro.parallel.costmodel import CostModel
 from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.db import StateStore
@@ -122,19 +123,63 @@ class PipelineResult:
         return "\n".join(lines)
 
 
-class RnnotatorPipeline:
-    """Driver for the full pipeline on a fresh simulated region."""
+def _trace_stage(report: StageReport) -> None:
+    """Mirror a finished :class:`StageReport` as a ``category="stage"``
+    span whose virtual interval equals the report's exactly (the report
+    CLI cross-checks ``v1 - v0`` against ``StageReport.ttc``)."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    r1 = time.perf_counter()
+    tracer.add_span(
+        f"stage:{report.name}",
+        v_start=report.started_at,
+        v_end=report.finished_at,
+        category="stage",
+        process=report.pilot if report.pilot != "-" else None,
+        r_start=r1 - report.real_seconds,
+        r_end=r1,
+        stage=report.name,
+        pilot=report.pilot,
+        n_nodes=report.n_nodes,
+        instance_type=report.instance_type,
+        notes=report.notes,
+    )
 
-    def __init__(self, cost_model: CostModel | None = None) -> None:
+
+class RnnotatorPipeline:
+    """Driver for the full pipeline on a fresh simulated region.
+
+    Passing a :class:`~repro.obs.Tracer` installs it process-wide for the
+    duration of :meth:`run` (via :func:`~repro.obs.use_tracer`) and binds
+    it to the run's virtual clock, so every instrumented layer underneath
+    — event queue, pilots, scheduler, EC2, SGE, assembler phases —
+    records into it.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer
 
     # -- public API --------------------------------------------------------
 
     def run(self, dataset: Dataset, config: PipelineConfig | None = None) -> PipelineResult:
+        if self.tracer is not None:
+            with use_tracer(self.tracer):
+                return self._run(dataset, config)
+        return self._run(dataset, config)
+
+    def _run(self, dataset: Dataset, config: PipelineConfig | None) -> PipelineResult:
         config = config or PipelineConfig()
         spec = dataset.spec
 
+        r_run0 = time.perf_counter()
         clock = SimClock()
+        get_tracer().bind_clock(clock)
         events = EventQueue(clock)
         region = EC2Region(clock)
         db = StateStore(clock)
@@ -165,6 +210,7 @@ class RnnotatorPipeline:
                 notes=f"{spec.fastq_bytes / 1024**3:.1f} GB over WAN",
             )
         )
+        _trace_stage(stages[-1])
 
         # ---- pilot P_A: pre-processing ------------------------------------
         shared_cluster: Cluster | None = None
@@ -229,6 +275,7 @@ class RnnotatorPipeline:
                 real_seconds=time.perf_counter() - w0,
             )
         )
+        _trace_stage(stages[-1])
 
         # ---- plan the assembly stage (the dynamic decision) ---------------
         kmer_list = config.kmer_list or select_kmer_list(pre.modal_read_length)
@@ -308,6 +355,7 @@ class RnnotatorPipeline:
                 real_seconds=time.perf_counter() - w0,
             )
         )
+        _trace_stage(stages[-1])
 
         # ---- pilot P_C: post-processing + quantification -------------------
         pc_itype = pb_itype
@@ -366,6 +414,7 @@ class RnnotatorPipeline:
                 real_seconds=time.perf_counter() - w0,
             )
         )
+        _trace_stage(stages[-1])
 
         def quant_work():
             result = quantify(pre.reads, merged.transcripts)
@@ -401,10 +450,27 @@ class RnnotatorPipeline:
                 real_seconds=time.perf_counter() - w0,
             )
         )
+        _trace_stage(stages[-1])
 
         # ---- teardown -------------------------------------------------------
         pm.finish(pc)
         region.terminate_all()
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "pipeline",
+                v_start=0.0,
+                v_end=clock.now,
+                category="pipeline",
+                r_start=r_run0,
+                r_end=time.perf_counter(),
+                dataset=spec.name,
+                assemblers="+".join(config.assemblers),
+                scheme=config.scheme.value,
+                workflow=config.workflow.value,
+                total_cost_usd=region.total_cost,
+            )
 
         return PipelineResult(
             config=config,

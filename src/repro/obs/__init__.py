@@ -1,0 +1,66 @@
+"""repro.obs — end-to-end tracing, metrics and run reports.
+
+The observability layer the timing arguments rest on: a process-wide but
+explicitly-injectable :class:`Tracer` records spans and point events
+carrying both **virtual time** (the simulation clock every TTC and
+dollar figure is measured on) and **real host time** (``perf_counter``),
+a :class:`Metrics` registry counts what the event stream makes awkward
+to count, and exporters render it all as a JSONL log, a Chrome
+``trace_event`` JSON (Perfetto / ``chrome://tracing``) or plain text.
+``python -m repro.obs.report`` turns a trace file into per-stage
+timelines, a virtual-vs-real breakdown and the hottest phases.
+
+Tracing is off by default (:class:`NullTracer`: every call a no-op) and
+never perturbs virtual quantities — TTCs, usage, comm bytes and contigs
+are bit-identical with tracing on or off.
+
+Quickstart::
+
+    from repro.obs import Tracer, use_tracer, write_jsonl
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = RnnotatorPipeline().run(dataset, config)
+    write_jsonl(tracer, "run.trace.jsonl")
+    # then: python -m repro.obs.report run.trace.jsonl
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    load_jsonl,
+    text_summary,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.logsetup import VirtualClockFormatter, logging_setup
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.tracer import (
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "VirtualClockFormatter",
+    "chrome_trace",
+    "get_tracer",
+    "load_jsonl",
+    "logging_setup",
+    "set_tracer",
+    "text_summary",
+    "use_tracer",
+    "write_chrome",
+    "write_jsonl",
+]

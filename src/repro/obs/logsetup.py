@@ -1,0 +1,76 @@
+"""stdlib logging wired to the virtual clock.
+
+The codebase logs through per-module loggers under the ``"repro"``
+namespace (``logging.getLogger(__name__)``); nothing is printed until
+:func:`logging_setup` attaches a handler.  The formatter prefixes every
+record with the virtual-clock timestamp — taken from an explicit clock
+or from the clock bound to the current tracer — so log lines interleave
+meaningfully with the trace: ``[v=   1234.5s] WARNING repro.pilot.agent:
+...``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+from repro.obs.tracer import get_tracer
+
+#: The namespace every repro logger lives under.
+ROOT_LOGGER = "repro"
+
+DEFAULT_FORMAT = "%(vclock)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class VirtualClockFormatter(logging.Formatter):
+    """Adds a ``%(vclock)s`` field with the virtual time of the record.
+
+    The clock is resolved per record — explicit ``clock`` first, else
+    whatever clock the current tracer has bound — so one handler follows
+    the active run without rewiring.
+    """
+
+    def __init__(
+        self, fmt: str = DEFAULT_FORMAT, clock: Any | None = None
+    ) -> None:
+        super().__init__(fmt)
+        self._clock = clock
+
+    def _resolve_clock(self) -> Any | None:
+        if self._clock is not None:
+            return self._clock
+        return get_tracer().clock
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = self._resolve_clock()
+        if clock is not None:
+            record.vclock = f"[v={clock.now:10.1f}s]"
+        else:
+            record.vclock = "[v=        --]"
+        return super().format(record)
+
+
+def logging_setup(
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+    clock: Any | None = None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach a virtual-clock-stamped stream handler to the ``repro``
+    logger tree and return the root ``repro`` logger.
+
+    Idempotent: calling again replaces the handler this function
+    installed previously (other handlers are left alone), so tests and
+    notebooks can re-run it freely.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(VirtualClockFormatter(fmt, clock=clock))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

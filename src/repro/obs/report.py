@@ -1,0 +1,173 @@
+"""Run-report CLI over a JSONL trace file.
+
+``python -m repro.obs.report trace.jsonl`` renders:
+
+* the per-stage table (virtual TTC and real host seconds per pipeline
+  stage, from the ``stage``-category spans);
+* per-process (pilot / VM pool / SGE) timelines of the virtual clock;
+* a virtual-vs-real breakdown by span category;
+* the top-k hottest phases by charged critical-path compute (from the
+  ``phase`` events the usage layer emits);
+* the metrics snapshot.
+
+``--chrome out.json`` additionally converts the trace to Chrome
+``trace_event`` JSON (open in Perfetto / ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable
+
+from repro.obs.export import load_jsonl, text_summary, write_chrome
+
+
+def _spans(records: Iterable[dict]) -> list[dict]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _events(records: Iterable[dict]) -> list[dict]:
+    return [r for r in records if r.get("type") == "event"]
+
+
+def _v_dur(span: dict) -> float:
+    if span["v0"] is None or span["v1"] is None:
+        return 0.0
+    return span["v1"] - span["v0"]
+
+
+def stage_ttcs(records: Iterable[dict]) -> dict[str, float]:
+    """Virtual TTC per pipeline stage, keyed by stage name.
+
+    Exact floats straight from the trace — these equal the pipeline's
+    ``StageReport.ttc`` values bit-for-bit (asserted by the trace-parity
+    test)."""
+    out: dict[str, float] = {}
+    for span in _spans(records):
+        if span["cat"] == "stage":
+            out[span["attrs"].get("stage", span["name"])] = _v_dur(span)
+    return out
+
+
+def stage_table(records: Iterable[dict]) -> str:
+    rows = ["per-stage timings (virtual TTC vs real host seconds):"]
+    rows.append(f"  {'stage':24s} {'virtual s':>12s} {'real s':>10s}  placement")
+    for span in _spans(records):
+        if span["cat"] != "stage":
+            continue
+        attrs = span["attrs"]
+        placement = attrs.get("pilot", "-")
+        if attrs.get("n_nodes"):
+            placement += f" ({attrs['n_nodes']} x {attrs.get('instance_type', '?')})"
+        rows.append(
+            f"  {attrs.get('stage', span['name']):24s} {_v_dur(span):12.1f} "
+            f"{span['r1'] - span['r0']:10.3f}  {placement}"
+        )
+    return "\n".join(rows) if len(rows) > 2 else ""
+
+
+def process_timelines(records: Iterable[dict], width: int = 48) -> str:
+    """ASCII virtual-time swimlane per process track."""
+    spans = [s for s in _spans(records) if _v_dur(s) >= 0 and s["v0"] is not None]
+    if not spans:
+        return ""
+    t_min = min(s["v0"] for s in spans)
+    t_max = max(s["v1"] for s in spans)
+    extent = max(t_max - t_min, 1e-9)
+    by_process: dict[str, list[dict]] = {}
+    for s in spans:
+        by_process.setdefault(s["process"], []).append(s)
+    rows = [f"virtual timelines ({t_min:.0f} s .. {t_max:.0f} s):"]
+    for process in sorted(by_process):
+        rows.append(f"  {process}:")
+        for s in sorted(by_process[process], key=lambda s: (s["v0"], s["v1"])):
+            lo = int((s["v0"] - t_min) / extent * width)
+            hi = max(lo + 1, int((s["v1"] - t_min) / extent * width))
+            bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+            rows.append(
+                f"    |{bar}| {s['name']}  {_v_dur(s):.1f} s [{s['thread']}]"
+            )
+    return "\n".join(rows)
+
+
+def virtual_vs_real(records: Iterable[dict]) -> str:
+    """Per-category totals on both clocks (top-level spans only, so
+    nested spans are not double counted)."""
+    spans = _spans(records)
+    roots = [s for s in spans if s.get("parent") is None]
+    if not roots:
+        return ""
+    totals: dict[str, tuple[float, float]] = {}
+    for s in roots:
+        cat = s["cat"] or "default"
+        v, r = totals.get(cat, (0.0, 0.0))
+        totals[cat] = (v + _v_dur(s), r + (s["r1"] - s["r0"]))
+    rows = ["virtual vs real seconds by category (top-level spans):"]
+    rows.append(f"  {'category':16s} {'virtual s':>12s} {'real s':>10s}")
+    for cat, (v, r) in sorted(totals.items(), key=lambda kv: -kv[1][0]):
+        rows.append(f"  {cat:16s} {v:12.1f} {r:10.3f}")
+    return "\n".join(rows)
+
+
+def hottest_phases(records: Iterable[dict], top: int = 10) -> str:
+    """Top-k phases by critical-path compute charged to the cost model."""
+    phases = [e for e in _events(records) if e["cat"] == "phase"]
+    if not phases:
+        return ""
+    phases.sort(key=lambda e: e["attrs"].get("critical_compute", 0.0), reverse=True)
+    rows = [f"hottest phases (critical-path compute, top {top}):"]
+    rows.append(
+        f"  {'phase':28s} {'kind':10s} {'critical':>12s} {'comm MB':>9s}"
+    )
+    for e in phases[:top]:
+        a = e["attrs"]
+        rows.append(
+            f"  {a.get('phase', e['name']):28s} {a.get('kind', '?'):10s} "
+            f"{a.get('critical_compute', 0.0):12.3g} "
+            f"{a.get('comm_bytes', 0) / 1e6:9.2f}"
+        )
+    return "\n".join(rows)
+
+
+def build_report(records: list[dict], top: int = 10) -> str:
+    """The full plain-text run report."""
+    sections = [
+        stage_table(records),
+        process_timelines(records),
+        virtual_vs_real(records),
+        hottest_phases(records, top=top),
+        text_summary(records, top=top),
+    ]
+    return "\n\n".join(s for s in sections if s)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a run report from a repro JSONL trace file.",
+    )
+    parser.add_argument("trace", help="trace file written by obs.export.write_jsonl")
+    parser.add_argument("--top", type=int, default=10, help="top-k hottest phases")
+    parser.add_argument(
+        "--chrome",
+        metavar="OUT",
+        help="also write a Chrome trace_event JSON to OUT (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--clock",
+        choices=("virtual", "real"),
+        default="virtual",
+        help="timeline for the --chrome export",
+    )
+    args = parser.parse_args(argv)
+    records = load_jsonl(args.trace)
+    print(build_report(records, top=args.top))
+    if args.chrome:
+        path = write_chrome(records, args.chrome, clock=args.clock)
+        print(f"\nchrome trace written to {path} (load in Perfetto)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

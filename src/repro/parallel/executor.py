@@ -35,6 +35,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs import get_tracer
 from repro.parallel.usage import ResourceUsage
 
 #: A unit workload: a callable returning (result, measured usage).
@@ -139,6 +140,9 @@ class SerialExecutor(WorkloadExecutor):
         self.max_workers = 1
 
     def submit(self, work: Workload) -> WorkloadHandle:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("executor.dispatch", category="executor", backend=self.name)
         try:
             result, usage, wall = run_workload(work)
         except Exception as exc:

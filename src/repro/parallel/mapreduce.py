@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
 
+from repro.obs import get_tracer
 from repro.parallel.usage import PhaseUsage, ResourceUsage, nbytes
 
 KV = tuple[Hashable, Any]
@@ -92,6 +93,13 @@ class MapReduceEngine:
 
     def run(self, job: MRJob, records: Sequence[KV]) -> list[KV]:
         """Execute one job and return its sorted output records."""
+        with get_tracer().span(
+            f"mr:{job.name}", category="mapreduce", n_workers=self.n_workers
+        ) as sp:
+            output = self._run_job(job, records, sp)
+        return output
+
+    def _run_job(self, job: MRJob, records: Sequence[KV], sp) -> list[KV]:
         stats = MRJobStats(name=job.name)
         n = self.n_workers
 
@@ -146,6 +154,14 @@ class MapReduceEngine:
                     output.append((rk, rv))
 
         self.job_stats.append(stats)
+        sp.set(
+            map_input_records=stats.map_input_records,
+            map_output_records=stats.map_output_records,
+            shuffle_bytes=stats.shuffle_bytes,
+            reduce_input_groups=stats.reduce_input_groups,
+            reduce_output_records=stats.reduce_output_records,
+        )
+        get_tracer().count("mr_jobs")
         self._usage.add_phase(
             PhaseUsage(
                 name=job.name,

@@ -17,6 +17,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs import get_tracer
+
 
 def nbytes(obj) -> int:
     """Approximate serialized size of a message payload in bytes."""
@@ -27,7 +29,9 @@ def nbytes(obj) -> int:
     if isinstance(obj, (bytes, bytearray)):
         return len(obj)
     if isinstance(obj, str):
-        return len(obj)
+        # Serialized size is the UTF-8 encoding, not the code-point count
+        # (len(str) under-charges any non-ASCII payload).
+        return len(obj.encode("utf-8"))
     if isinstance(obj, (int, float, np.integer, np.floating)):
         return 8
     if isinstance(obj, bool):
@@ -92,7 +96,23 @@ class ResourceUsage:
     n_ranks: int = 1
 
     def add_phase(self, phase: PhaseUsage) -> None:
+        """Append one measured phase (the seam every assembler, MR engine
+        and collective reports through — the tracer taps it here)."""
         self.phases.append(phase)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "phase",
+                category="phase",
+                phase=phase.name,
+                kind=phase.kind,
+                critical_compute=phase.critical_compute,
+                total_compute=phase.total_compute,
+                serial_compute=phase.serial_compute,
+                comm_bytes=phase.comm_bytes,
+                n_messages=phase.n_messages,
+                n_jobs=phase.n_jobs,
+            )
 
     def merge(self, other: "ResourceUsage") -> "ResourceUsage":
         """Sequential composition: phases concatenate, memory takes the max."""

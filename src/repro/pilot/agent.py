@@ -25,9 +25,11 @@ the whole cluster.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.cloud.sge import SGEJob
+from repro.obs import get_tracer
 from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
 from repro.parallel.executor import (
     SerialExecutor,
@@ -41,6 +43,8 @@ from repro.pilot.unit import ComputeUnit
 
 #: Fraction of the priced runtime a task burns before dying of OOM.
 OOM_FAILURE_FRACTION = 0.3
+
+_log = logging.getLogger(__name__)
 
 
 class AgentError(RuntimeError):
@@ -84,6 +88,7 @@ class PilotAgent:
             raise AgentError(f"{self.pilot.pilot_id} is not ACTIVE")
         cluster = self.pilot.cluster
         unit.advance(UnitState.PENDING_EXECUTION)
+        tracer = get_tracer()
 
         # Static capacity check against the declared footprint, sized on
         # the pilot's slice (not the possibly larger borrowed cluster).
@@ -93,19 +98,42 @@ class PilotAgent:
         )
         declared = unit.description.memory_bytes
         if declared and declared / nodes_spanned > itype.memory_bytes:
+            tracer.count("units_oom_static")
+            _log.warning(
+                "%s: unit %s fails static memory check on %s",
+                self.pilot.pilot_id,
+                unit.description.name,
+                itype.name,
+            )
             unit.fail(
                 f"OOM (static): needs {declared / nodes_spanned / 1024**3:.1f} "
                 f"GiB/node on {itype.name} ({itype.memory_gb:.0f} GiB)"
             )
             return
 
+        if unit.description.cores > self.slice_slots:
+            _log.warning(
+                "%s: unit %s wants %d cores; capping at the pilot slice's "
+                "%d slots",
+                self.pilot.pilot_id,
+                unit.description.name,
+                unit.description.cores,
+                self.slice_slots,
+            )
+
         # Dispatch the real workload; it may run concurrently with other
         # units' workloads.  Virtual time is charged when the SGE job
         # runs, after collect() binds the outcome back in.
-        self._pending[unit.unit_id] = (
-            unit,
-            self.executor.submit(unit.description.work),
-        )
+        tracer.count("units_submitted")
+        with tracer.span(
+            f"dispatch:{unit.description.name}",
+            category="agent",
+            process=self.pilot.pilot_id,
+            thread=unit.unit_id,
+            backend=self.executor.name,
+        ):
+            handle = self.executor.submit(unit.description.work)
+        self._pending[unit.unit_id] = (unit, handle)
 
     # -- phase 2: collect --------------------------------------------------
 
@@ -119,7 +147,26 @@ class PilotAgent:
                 f"{self.pilot.pilot_id}"
             ) from None
         outcome = handle.outcome()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "workload.outcome",
+                category="executor",
+                process=self.pilot.pilot_id,
+                thread=unit.unit_id,
+                ok=outcome.ok,
+                wall_seconds=outcome.wall_seconds,
+                backend=self.executor.name,
+            )
+            tracer.observe("workload_wall_seconds", outcome.wall_seconds)
         if not outcome.ok:
+            tracer.count("units_workload_errors")
+            _log.warning(
+                "%s: workload of %s raised: %s",
+                self.pilot.pilot_id,
+                unit.description.name,
+                outcome.error,
+            )
             unit.fail(f"workload error: {outcome.error}")
             return
         unit.real_seconds = outcome.wall_seconds
@@ -170,8 +217,30 @@ class PilotAgent:
 
         def on_complete(job: SGEJob) -> None:
             unit.finished_at = cluster.events.clock.now
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_span(
+                    f"exec:{unit.description.name}",
+                    v_start=unit.started_at,
+                    v_end=unit.finished_at,
+                    category="unit",
+                    process=self.pilot.pilot_id,
+                    thread=unit.unit_id,
+                    unit=unit.description.name,
+                    stage=unit.description.stage,
+                    slots=job.slots,
+                    nodes=len(job.allocation),
+                    oom=oom["hit"],
+                )
             if oom["hit"]:
                 peak = scaled.peak_rank_memory_bytes
+                tracer.count("units_oom_measured")
+                _log.warning(
+                    "%s: unit %s hit a measured OOM on %s",
+                    self.pilot.pilot_id,
+                    unit.description.name,
+                    itype.name,
+                )
                 unit.result = None
                 unit.usage = scaled
                 unit.fail(
@@ -179,6 +248,7 @@ class PilotAgent:
                     f"{peak / 1024**3:.1f} GiB on {itype.name}"
                 )
                 return
+            tracer.count("units_done")
             unit.result = result
             unit.usage = scaled
             unit.advance(UnitState.DONE)

@@ -13,11 +13,13 @@ monitoring, and restarting" role (§III.C).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.cloud.clock import EventQueue
 from repro.cloud.cluster import Cluster, build_cluster, cluster_from_vms
 from repro.cloud.ec2 import EC2Region
+from repro.obs import get_tracer
 from repro.parallel.costmodel import CostModel
 from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.agent import PilotAgent
@@ -38,6 +40,9 @@ class ManagerError(RuntimeError):
     pass
 
 
+_log = logging.getLogger(__name__)
+
+
 @dataclass
 class PilotManager:
     """Creates, launches and cancels pilots on the region."""
@@ -54,18 +59,26 @@ class PilotManager:
 
     def launch(self, pilot: Pilot) -> Pilot:
         """S1-style launch: provision a fresh fleet for this pilot."""
-        pilot.advance(PilotState.PENDING_LAUNCH)
-        pilot.advance(PilotState.LAUNCHING)
-        cluster = build_cluster(
-            self.region,
-            self.events,
-            pilot.description.instance_type,
-            pilot.description.n_nodes,
-            name=f"{pilot.pilot_id}.cluster",
-        )
-        pilot.bind_cluster(cluster)
-        pilot.owns_vms = True
-        pilot.advance(PilotState.ACTIVE)
+        with get_tracer().span(
+            f"launch:{pilot.pilot_id}",
+            category="pilot",
+            process=pilot.pilot_id,
+            instance_type=pilot.description.instance_type,
+            n_nodes=pilot.description.n_nodes,
+            reused_vms=False,
+        ):
+            pilot.advance(PilotState.PENDING_LAUNCH)
+            pilot.advance(PilotState.LAUNCHING)
+            cluster = build_cluster(
+                self.region,
+                self.events,
+                pilot.description.instance_type,
+                pilot.description.n_nodes,
+                name=f"{pilot.pilot_id}.cluster",
+            )
+            pilot.bind_cluster(cluster)
+            pilot.owns_vms = True
+            pilot.advance(PilotState.ACTIVE)
         return pilot
 
     def launch_on(self, pilot: Pilot, cluster: Cluster) -> Pilot:
@@ -80,11 +93,20 @@ class PilotManager:
                 f"pilot wants {pilot.description.n_nodes} nodes, cluster has "
                 f"{cluster.n_nodes}"
             )
-        pilot.advance(PilotState.PENDING_LAUNCH)
-        pilot.advance(PilotState.LAUNCHING)
-        pilot.bind_cluster(cluster)
-        pilot.owns_vms = False
-        pilot.advance(PilotState.ACTIVE)
+        with get_tracer().span(
+            f"launch:{pilot.pilot_id}",
+            category="pilot",
+            process=pilot.pilot_id,
+            instance_type=pilot.description.instance_type,
+            n_nodes=pilot.description.n_nodes,
+            reused_vms=True,
+            cluster=cluster.name,
+        ):
+            pilot.advance(PilotState.PENDING_LAUNCH)
+            pilot.advance(PilotState.LAUNCHING)
+            pilot.bind_cluster(cluster)
+            pilot.owns_vms = False
+            pilot.advance(PilotState.ACTIVE)
         return pilot
 
     def finish(self, pilot: Pilot) -> None:
@@ -162,6 +184,7 @@ class UnitManager:
                     pending, self.pilots, exclude=failed_on
                 )
             except SchedulingError as exc:
+                _log.warning("scheduling failed terminally: %s", exc)
                 for unit in pending:
                     if unit.state is UnitState.UNSCHEDULED:
                         unit.advance(UnitState.SCHEDULING)
@@ -188,7 +211,23 @@ class UnitManager:
             retryable = [
                 u for u in failed if u.restarts < u.description.max_restarts
             ]
+            tracer = get_tracer()
             for u in retryable:
+                _log.warning(
+                    "restarting %s elsewhere (attempt %d, excluded pilots: %s)",
+                    u.description.name,
+                    u.restarts + 1,
+                    sorted(failed_on.get(u.unit_id, ())),
+                )
+                tracer.count("units_restarted")
+                if tracer.enabled:
+                    tracer.event(
+                        "unit.restart",
+                        category="scheduler",
+                        thread=u.unit_id,
+                        unit=u.description.name,
+                        excluded=sorted(failed_on.get(u.unit_id, ())),
+                    )
                 u.reset_for_restart()
             pending = retryable
             attempt += 1

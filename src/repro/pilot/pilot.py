@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cloud.cluster import Cluster
+from repro.obs import get_tracer
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription
 from repro.pilot.states import (
@@ -15,6 +17,9 @@ from repro.pilot.states import (
 )
 
 _ids = itertools.count()
+
+#: Transition hook signature: (pilot, old_state, new_state).
+TransitionHook = Callable[["Pilot", PilotState, PilotState], None]
 
 
 @dataclass
@@ -27,6 +32,11 @@ class Pilot:
     state: PilotState = PilotState.NEW
     cluster: Cluster | None = None
     owns_vms: bool = True  # S1 pilots own their VMs; S2 pilots borrow
+    #: Called exactly once per legal transition, after the state store is
+    #: updated — the seam the tracer (and tests) observe lifecycles on.
+    transition_hooks: list[TransitionHook] = field(
+        default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.db.register(
@@ -38,11 +48,23 @@ class Pilot:
         )
 
     def advance(self, new: PilotState) -> None:
-        """Move to ``new``, enforcing the transition table and publishing
-        the change to the state store."""
+        """Move to ``new``, enforcing the transition table, publishing the
+        change to the state store and firing the transition hooks."""
         check_pilot_transition(self.state, new)
+        old = self.state
         self.state = new
         self.db.update(self.pilot_id, "state", new.value)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "pilot.state",
+                category="state",
+                process=self.pilot_id,
+                old=old.value,
+                new=new.value,
+            )
+        for hook in self.transition_hooks:
+            hook(self, old, new)
 
     @property
     def is_final(self) -> bool:

@@ -17,16 +17,44 @@ the pilot it already failed on.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from typing import Mapping
 
 from repro.cloud.instances import get_instance_type
+from repro.obs import get_tracer
 from repro.pilot.pilot import Pilot
 from repro.pilot.states import PilotState
 from repro.pilot.unit import ComputeUnit
 
 #: Pilots each unit must not be scheduled on: ``{unit_id: {pilot_id}}``.
 ExcludeMap = Mapping[str, "set[str] | frozenset[str]"]
+
+_log = logging.getLogger(__name__)
+
+
+def record_placements(
+    scheduler: "UnitScheduler",
+    assignment: dict[str, str],
+    units: list[ComputeUnit],
+    exclude: ExcludeMap | None,
+) -> None:
+    """Emit one trace event per placement decision (no-op untraced)."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    names = {u.unit_id: u.description.name for u in units}
+    for unit_id, pilot_id in assignment.items():
+        tracer.event(
+            "schedule.place",
+            category="scheduler",
+            process=pilot_id,
+            thread=unit_id,
+            unit=names.get(unit_id, unit_id),
+            policy=type(scheduler).__name__,
+            excluded=sorted((exclude or {}).get(unit_id, ())),
+        )
+    tracer.count("units_scheduled", len(assignment))
 
 
 class SchedulingError(RuntimeError):
@@ -75,17 +103,22 @@ def _no_fit_error(
 ) -> SchedulingError:
     banned = (exclude or {}).get(unit.unit_id, frozenset())
     if banned:
+        _log.warning(
+            "unit %s fits no untried pilot (already failed on %s)",
+            unit.description.name,
+            sorted(banned),
+        )
         return SchedulingError(
             f"unit {unit.description.name!r} fits no untried pilot "
             f"(already failed on {sorted(banned)})"
         )
+    _log.warning("unit %s fits no pilot", unit.description.name)
     return SchedulingError(f"unit {unit.description.name!r} fits no pilot")
 
 
 class UnitScheduler(ABC):
     """Assigns each unit to one pilot."""
 
-    @abstractmethod
     def schedule(
         self,
         units: list[ComputeUnit],
@@ -93,13 +126,26 @@ class UnitScheduler(ABC):
         exclude: ExcludeMap | None = None,
     ) -> dict[str, str]:
         """Returns ``{unit_id: pilot_id}``; raises SchedulingError when a
-        unit fits nowhere (or nowhere it has not already failed)."""
+        unit fits nowhere (or nowhere it has not already failed).  Every
+        placement decision is published to the tracer."""
+        assignment = self._schedule(units, pilots, exclude)
+        record_placements(self, assignment, units, exclude)
+        return assignment
+
+    @abstractmethod
+    def _schedule(
+        self,
+        units: list[ComputeUnit],
+        pilots: list[Pilot],
+        exclude: ExcludeMap | None = None,
+    ) -> dict[str, str]:
+        """Policy implementation; see :meth:`schedule`."""
 
 
 class RoundRobinScheduler(UnitScheduler):
     """Cycle through the usable pilots, skipping those the unit cannot fit."""
 
-    def schedule(self, units, pilots, exclude=None):
+    def _schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")
@@ -125,7 +171,7 @@ class RoundRobinScheduler(UnitScheduler):
 class MemoryAwareScheduler(UnitScheduler):
     """Prefer the cheapest pilot whose nodes can hold the unit's footprint."""
 
-    def schedule(self, units, pilots, exclude=None):
+    def _schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")
@@ -148,7 +194,7 @@ class MemoryAwareScheduler(UnitScheduler):
 class LoadBalancingScheduler(UnitScheduler):
     """Spread units proportionally to pilot core counts."""
 
-    def schedule(self, units, pilots, exclude=None):
+    def _schedule(self, units, pilots, exclude=None):
         usable = _usable(pilots)
         if not usable:
             raise SchedulingError("no usable pilots")

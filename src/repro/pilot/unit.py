@@ -4,14 +4,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
+from repro.obs import get_tracer
 from repro.parallel.usage import ResourceUsage
 from repro.pilot.db import StateStore
 from repro.pilot.description import UnitDescription
 from repro.pilot.states import UNIT_FINAL, UnitState, check_unit_transition
 
 _ids = itertools.count()
+
+#: Transition hook signature: (unit, old_state, new_state).
+TransitionHook = Callable[["ComputeUnit", UnitState, UnitState], None]
 
 
 @dataclass
@@ -31,6 +35,11 @@ class ComputeUnit:
     finished_at: float | None = None
     #: Real host seconds spent in the workload (not virtual time).
     real_seconds: float | None = None
+    #: Called exactly once per legal transition, after the state store is
+    #: updated — the seam the tracer (and tests) observe lifecycles on.
+    transition_hooks: list[TransitionHook] = field(
+        default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.db.register(
@@ -43,8 +52,22 @@ class ComputeUnit:
 
     def advance(self, new: UnitState) -> None:
         check_unit_transition(self.state, new)
+        old = self.state
         self.state = new
         self.db.update(self.unit_id, "state", new.value)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "unit.state",
+                category="state",
+                process=self.pilot_id or "unassigned",
+                thread=self.unit_id,
+                old=old.value,
+                new=new.value,
+                unit=self.description.name,
+            )
+        for hook in self.transition_hooks:
+            hook(self, old, new)
 
     @property
     def is_final(self) -> bool:

@@ -104,10 +104,47 @@ class TestEventQueue:
         assert len(q) == 1
 
     def test_step_empty(self):
-        assert EventQueue().step() is False
+        assert EventQueue().step() is None
 
     def test_peek(self):
         q = EventQueue()
         assert q.peek_time() is None
         q.schedule_at(3.0, lambda: None)
         assert q.peek_time() == 3.0
+
+
+class TestEventTags:
+    def test_step_returns_explicit_tag(self):
+        q = EventQueue()
+        q.schedule_at(1.0, lambda: None, tag="vm.boot")
+        assert q.step() == "vm.boot"
+        assert q.last_tag == "vm.boot"
+
+    def test_untagged_events_get_derived_tag(self):
+        q = EventQueue()
+
+        def provision():
+            pass
+
+        q.schedule_in(2.0, provision)
+        tag = q.step()
+        assert "provision" in tag
+
+    def test_run_returns_fired_tags_in_order(self):
+        q = EventQueue()
+        q.schedule_at(2.0, lambda: None, tag="b")
+        q.schedule_at(1.0, lambda: None, tag="a")
+        q.schedule_at(9.0, lambda: None, tag="c")
+        assert q.run(until=5.0) == ["a", "b"]
+        assert q.run() == ["c"]
+
+    def test_fired_events_reach_the_tracer(self):
+        from repro.obs import Tracer, use_tracer
+
+        q = EventQueue()
+        q.schedule_at(4.0, lambda: None, tag="traced")
+        with use_tracer(Tracer()) as tracer:
+            q.run()
+        fires = [e for e in tracer.events if e.name == "eq.fire"]
+        assert [e.attrs["tag"] for e in fires] == ["traced"]
+        assert fires[0].v_time == 4.0

@@ -1,0 +1,128 @@
+"""Tracing must observe the run, never perturb it.
+
+Runs the quickstart-scale pipeline twice — default (NullTracer) and with
+a real tracer injected — and asserts every virtual quantity is
+bit-identical; then cross-checks the trace itself: per-stage virtual
+TTCs recovered by the report module equal the pipeline's ``StageReport``
+values exactly, and the Chrome export is structurally loadable.
+"""
+
+import json
+
+import pytest
+
+from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.obs import Tracer, chrome_trace, load_jsonl, write_jsonl
+from repro.obs.report import build_report, stage_ttcs
+
+CONFIG = dict(assemblers=("ray",), kmer_list=(35, 41))
+
+
+@pytest.fixture(scope="module")
+def traced(ds_single):
+    tracer = Tracer()
+    result = RnnotatorPipeline(tracer=tracer).run(
+        ds_single, PipelineConfig(**CONFIG)
+    )
+    return result, tracer
+
+
+@pytest.fixture(scope="module")
+def untraced(ds_single):
+    return RnnotatorPipeline().run(ds_single, PipelineConfig(**CONFIG))
+
+
+class TestParity:
+    def test_contigs_identical(self, traced, untraced):
+        traced_result, _ = traced
+        assert [t.seq for t in traced_result.transcripts] == [
+            t.seq for t in untraced.transcripts
+        ]
+
+    def test_stage_ttcs_identical(self, traced, untraced):
+        traced_result, _ = traced
+        assert [
+            (s.name, s.started_at, s.finished_at) for s in traced_result.stages
+        ] == [(s.name, s.started_at, s.finished_at) for s in untraced.stages]
+
+    def test_totals_identical(self, traced, untraced):
+        traced_result, _ = traced
+        assert traced_result.total_ttc == untraced.total_ttc
+        assert traced_result.total_cost == untraced.total_cost
+        assert traced_result.transfer_seconds == untraced.transfer_seconds
+
+    def test_usage_identical(self, traced, untraced):
+        traced_result, _ = traced
+        for key in traced_result.assemblies:
+            a = traced_result.assemblies[key]
+            b = untraced.assemblies[key]
+            assert a.usage.phases == b.usage.phases
+            assert (
+                a.usage.peak_rank_memory_bytes == b.usage.peak_rank_memory_bytes
+            )
+
+    def test_quantification_identical(self, traced, untraced):
+        traced_result, _ = traced
+        assert (
+            traced_result.quantification.assigned_reads
+            == untraced.quantification.assigned_reads
+        )
+
+    def test_tracer_restored_after_run(self, traced):
+        from repro.obs import NullTracer, get_tracer
+
+        assert isinstance(get_tracer(), NullTracer)
+
+
+class TestTraceContent:
+    def test_report_stage_ttcs_equal_stage_reports_exactly(self, traced):
+        result, tracer = traced
+        from_trace = stage_ttcs(tracer.records())
+        from_reports = {s.name: s.ttc for s in result.stages}
+        assert from_trace == from_reports  # exact float equality
+
+    def test_expected_layers_recorded(self, traced):
+        _, tracer = traced
+        span_cats = {s.category for s in tracer.spans}
+        event_names = {e.name for e in tracer.events}
+        assert {"stage", "pipeline", "cloud", "unit", "agent"} <= span_cats
+        assert {"pilot.state", "unit.state", "schedule.place", "eq.fire",
+                "phase", "executor.dispatch"} <= event_names
+
+    def test_pilot_tracks_present(self, traced):
+        result, tracer = traced
+        processes = {s.process for s in tracer.spans}
+        for stage in result.stages:
+            if stage.pilot != "-":
+                assert stage.pilot in processes
+
+    def test_metrics_counted(self, traced):
+        result, tracer = traced
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["units_done"] == len(result.stages) - 1 + 1
+        assert snap["counters"]["vms_launched"] >= 1
+        assert snap["counters"]["billed_usd"] == pytest.approx(
+            result.total_cost
+        )
+
+    def test_chrome_trace_loadable(self, traced, tmp_path):
+        _, tracer = traced
+        doc = json.loads(json.dumps(chrome_trace(tracer)))
+        events = doc["traceEvents"]
+        assert events
+        phs = {e["ph"] for e in events}
+        assert {"M", "X"} <= phs
+        for e in events:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+
+    def test_jsonl_roundtrip_and_report_renders(self, traced, tmp_path):
+        result, tracer = traced
+        path = write_jsonl(tracer, tmp_path / "run.jsonl")
+        records = load_jsonl(path)
+        report = build_report(records)
+        assert "per-stage timings" in report
+        assert "transcript-assembly" in report
+        # the report quotes the same TTCs the pipeline reports
+        assert stage_ttcs(records) == {s.name: s.ttc for s in result.stages}

@@ -1,0 +1,78 @@
+"""Tests for virtual-clock-stamped logging."""
+
+import io
+import logging
+
+from repro.obs import Tracer, VirtualClockFormatter, logging_setup, use_tracer
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def record(msg="hello"):
+    return logging.LogRecord(
+        "repro.test", logging.WARNING, __file__, 1, msg, None, None
+    )
+
+
+class TestFormatter:
+    def test_explicit_clock(self):
+        fmt = VirtualClockFormatter(clock=FakeClock(1234.5))
+        assert "[v=    1234.5s]" in fmt.format(record())
+
+    def test_clock_from_current_tracer(self):
+        tr = Tracer(FakeClock(42.0))
+        fmt = VirtualClockFormatter()
+        with use_tracer(tr):
+            assert "[v=      42.0s]" in fmt.format(record())
+
+    def test_no_clock_placeholder(self):
+        assert "[v=        --]" in VirtualClockFormatter().format(record())
+
+    def test_message_and_logger_name_present(self):
+        out = VirtualClockFormatter(clock=FakeClock()).format(record("boom"))
+        assert "boom" in out and "repro.test" in out and "WARNING" in out
+
+
+class TestLoggingSetup:
+    def teardown_method(self):
+        # drop any handler this test installed
+        logger = logging.getLogger("repro")
+        for h in list(logger.handlers):
+            if getattr(h, "_repro_obs_handler", False):
+                logger.removeHandler(h)
+
+    def test_routes_module_loggers_to_stream(self):
+        stream = io.StringIO()
+        logging_setup(stream=stream, clock=FakeClock(10.0))
+        logging.getLogger("repro.pilot.agent").warning("capacity capped")
+        out = stream.getvalue()
+        assert "capacity capped" in out
+        assert "[v=      10.0s]" in out
+        assert "repro.pilot.agent" in out
+
+    def test_idempotent(self):
+        s1, s2 = io.StringIO(), io.StringIO()
+        logging_setup(stream=s1)
+        logging_setup(stream=s2)
+        logging.getLogger("repro.x").warning("once")
+        assert s1.getvalue() == ""  # first handler was replaced
+        assert s2.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        logging_setup(level=logging.WARNING, stream=stream)
+        logging.getLogger("repro.y").info("quiet")
+        logging.getLogger("repro.y").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_package_import_installs_null_handler(self):
+        import repro
+
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        ), repro.__name__

@@ -1,0 +1,89 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, Metrics
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("jobs").inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("vms")
+        assert g.value is None
+        g.set(4)
+        g.set(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = Histogram("wait")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_empty_stats_are_zero(self):
+        h = Histogram("wait")
+        assert (h.count, h.sum, h.mean, h.min, h.max) == (0, 0.0, 0.0, 0.0, 0.0)
+        assert h.percentile(95) == 0.0
+
+    def test_percentile_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(0) == 1.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+
+class TestMetrics:
+    def test_get_or_create(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("b") is m.gauge("b")
+        assert m.histogram("c") is m.histogram("c")
+
+    def test_snapshot_shape(self):
+        m = Metrics()
+        m.counter("jobs").inc(3)
+        m.gauge("vms").set(2)
+        m.histogram("wait").observe(1.0)
+        m.histogram("wait").observe(5.0)
+        snap = m.snapshot()
+        assert snap["counters"] == {"jobs": 3}
+        assert snap["gauges"] == {"vms": 2}
+        h = snap["histograms"]["wait"]
+        assert h["count"] == 2
+        assert h["sum"] == 6.0
+        assert h["p50"] == 1.0
+        assert h["p95"] == 5.0
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        m = Metrics()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        json.dumps(snap)  # must serialize

@@ -1,0 +1,124 @@
+"""Tests for the run-report CLI and its building blocks."""
+
+import json
+
+from repro.obs import Tracer, write_jsonl
+from repro.obs.report import (
+    build_report,
+    hottest_phases,
+    main,
+    process_timelines,
+    stage_table,
+    stage_ttcs,
+    virtual_vs_real,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_records() -> list[dict]:
+    clock = FakeClock()
+    tr = Tracer(clock)
+    with tr.span(
+        "stage:pre-processing", category="stage", process="pilot.0",
+        stage="pre-processing", pilot="pilot.0", n_nodes=1,
+        instance_type="c3.2xlarge",
+    ):
+        clock.advance(123.25)
+    with tr.span(
+        "stage:transcript-assembly", category="stage", process="pilot.1",
+        stage="transcript-assembly", pilot="pilot.1", n_nodes=4,
+        instance_type="r3.2xlarge",
+    ):
+        clock.advance(4000.0)
+    tr.event(
+        "phase", category="phase", phase="kmer-count", kind="kmer",
+        critical_compute=5000.0, comm_bytes=123456,
+    )
+    tr.event(
+        "phase", category="phase", phase="walk", kind="graph",
+        critical_compute=100.0, comm_bytes=0,
+    )
+    tr.count("units_done", 5)
+    return tr.records()
+
+
+class TestSections:
+    def test_stage_ttcs_exact(self):
+        ttcs = stage_ttcs(make_records())
+        assert ttcs == {
+            "pre-processing": 123.25,
+            "transcript-assembly": 4000.0,
+        }
+
+    def test_stage_table(self):
+        table = stage_table(make_records())
+        assert "pre-processing" in table
+        assert "4 x r3.2xlarge" in table
+
+    def test_process_timelines(self):
+        text = process_timelines(make_records())
+        assert "pilot.0" in text and "pilot.1" in text
+        assert "#" in text
+
+    def test_virtual_vs_real(self):
+        text = virtual_vs_real(make_records())
+        assert "stage" in text
+
+    def test_hottest_phases_ordered_by_critical_compute(self):
+        text = hottest_phases(make_records(), top=10)
+        assert text.index("kmer-count") < text.index("walk")
+
+    def test_hottest_phases_respects_top(self):
+        text = hottest_phases(make_records(), top=1)
+        assert "kmer-count" in text and "walk" not in text
+
+    def test_build_report_composes_sections(self):
+        report = build_report(make_records())
+        for needle in (
+            "per-stage timings", "virtual timelines",
+            "virtual vs real", "hottest phases", "trace:",
+        ):
+            assert needle in report
+
+    def test_empty_records(self):
+        assert stage_ttcs([]) == {}
+        assert stage_table([]) == ""
+        assert process_timelines([]) == ""
+        assert "0 spans" in build_report([])
+
+
+class TestCli:
+    def test_main_renders_report(self, tmp_path, capsys):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        with tr.span("stage:pre", category="stage", stage="pre"):
+            clock.advance(10.0)
+        trace = write_jsonl(tr, tmp_path / "trace.jsonl")
+        assert main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage timings" in out
+
+    def test_main_chrome_export(self, tmp_path, capsys):
+        clock = FakeClock()
+        tr = Tracer(clock)
+        with tr.span("stage:pre", category="stage", stage="pre"):
+            clock.advance(10.0)
+        trace = write_jsonl(tr, tmp_path / "trace.jsonl")
+        out_path = tmp_path / "chrome.json"
+        assert main([str(trace), "--chrome", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert "Perfetto" in capsys.readouterr().out
+
+    def test_module_is_runnable(self):
+        # python -m repro.obs.report exercises this import path
+        import repro.obs.report as mod
+
+        assert callable(mod.main)

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.obs import Tracer, use_tracer
 from repro.parallel.usage import PhaseUsage, ResourceUsage, merge_all, nbytes
 
 
@@ -18,6 +19,17 @@ class TestNbytes:
     def test_bytes_str(self):
         assert nbytes(b"abcd") == 4
         assert nbytes("abcd") == 4
+
+    def test_str_counts_utf8_bytes_not_code_points(self):
+        # regression: len(str) under-charged non-ASCII payloads
+        assert nbytes("né") == 3  # e-acute is 2 bytes in UTF-8
+        assert nbytes("☃") == 3
+        assert nbytes("🧬") == 4
+
+    def test_mixed_payload_regression_pin(self):
+        payload = ["ACGT", "séq", b"\x00\x01", ("🧬", 1)]
+        # 4 + (2 + 2) + 2 + (4 + 8 + 16) + list overhead 16
+        assert nbytes(payload) == 4 + 4 + 2 + 28 + 16
 
     def test_scalars(self):
         assert nbytes(3) == 8
@@ -124,3 +136,15 @@ class TestResourceUsage:
         assert u.scaled(f).critical_compute == pytest.approx(
             f * u.critical_compute
         )
+
+    def test_add_phase_emits_trace_event(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ResourceUsage().add_phase(
+                PhaseUsage("walk", "graph", critical_compute=7, comm_bytes=9)
+            )
+        (e,) = tracer.events
+        assert e.name == "phase" and e.category == "phase"
+        assert e.attrs["phase"] == "walk"
+        assert e.attrs["critical_compute"] == 7
+        assert e.attrs["comm_bytes"] == 9

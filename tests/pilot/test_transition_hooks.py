@@ -1,0 +1,144 @@
+"""Exhaustive state-machine coverage and transition-hook semantics.
+
+Complements the hypothesis-sampled tests in test_states_db.py with a
+deterministic sweep over *every* (from, to) state pair, exercised
+through the live entities (``Pilot.advance`` / ``ComputeUnit.advance``)
+rather than the bare check functions — so the hook/tracer seam is
+covered too.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cloud.clock import SimClock
+from repro.pilot.db import StateStore
+from repro.pilot.description import PilotDescription, UnitDescription
+from repro.pilot.pilot import Pilot
+from repro.pilot.states import (
+    PILOT_TRANSITIONS,
+    UNIT_TRANSITIONS,
+    PilotState,
+    StateError,
+    UnitState,
+)
+from repro.pilot.unit import ComputeUnit
+
+
+def make_pilot() -> Pilot:
+    return Pilot(PilotDescription("P", "c3.2xlarge", 1), StateStore(SimClock()))
+
+
+def make_unit() -> ComputeUnit:
+    return ComputeUnit(
+        UnitDescription(name="u", work=lambda: (None, None)),
+        StateStore(SimClock()),
+    )
+
+
+PILOT_PAIRS = list(itertools.product(PilotState, PilotState))
+UNIT_PAIRS = list(itertools.product(UnitState, UnitState))
+
+
+class TestExhaustivePilotPairs:
+    @pytest.mark.parametrize(
+        "a,b", PILOT_PAIRS, ids=[f"{a.value}->{b.value}" for a, b in PILOT_PAIRS]
+    )
+    def test_every_pair(self, a, b):
+        pilot = make_pilot()
+        pilot.state = a
+        fired = []
+        pilot.transition_hooks.append(lambda p, old, new: fired.append((old, new)))
+        if b in PILOT_TRANSITIONS[a]:
+            pilot.advance(b)
+            assert pilot.state is b
+            assert fired == [(a, b)]
+        else:
+            with pytest.raises(StateError):
+                pilot.advance(b)
+            # a rejected transition changes nothing and fires nothing
+            assert pilot.state is a
+            assert fired == []
+
+
+class TestExhaustiveUnitPairs:
+    @pytest.mark.parametrize(
+        "a,b", UNIT_PAIRS, ids=[f"{a.value}->{b.value}" for a, b in UNIT_PAIRS]
+    )
+    def test_every_pair(self, a, b):
+        unit = make_unit()
+        unit.state = a
+        fired = []
+        unit.transition_hooks.append(lambda u, old, new: fired.append((old, new)))
+        if b in UNIT_TRANSITIONS[a]:
+            unit.advance(b)
+            assert unit.state is b
+            assert fired == [(a, b)]
+        else:
+            with pytest.raises(StateError):
+                unit.advance(b)
+            assert unit.state is a
+            assert fired == []
+
+
+class TestHookSemantics:
+    def test_pilot_hooks_fire_once_per_transition_over_lifecycle(self):
+        pilot = make_pilot()
+        fired = []
+        pilot.transition_hooks.append(lambda p, old, new: fired.append((old, new)))
+        path = [
+            PilotState.PENDING_LAUNCH,
+            PilotState.LAUNCHING,
+            PilotState.ACTIVE,
+            PilotState.DONE,
+        ]
+        for state in path:
+            pilot.advance(state)
+        assert fired == [
+            (PilotState.NEW, PilotState.PENDING_LAUNCH),
+            (PilotState.PENDING_LAUNCH, PilotState.LAUNCHING),
+            (PilotState.LAUNCHING, PilotState.ACTIVE),
+            (PilotState.ACTIVE, PilotState.DONE),
+        ]
+
+    def test_unit_hooks_fire_once_per_transition_over_lifecycle(self):
+        unit = make_unit()
+        fired = []
+        unit.transition_hooks.append(lambda u, old, new: fired.append((old, new)))
+        path = [
+            UnitState.UNSCHEDULED,
+            UnitState.SCHEDULING,
+            UnitState.PENDING_EXECUTION,
+            UnitState.EXECUTING,
+            UnitState.DONE,
+        ]
+        for state in path:
+            unit.advance(state)
+        assert len(fired) == 5
+        assert fired[0] == (UnitState.NEW, UnitState.UNSCHEDULED)
+        assert fired[-1] == (UnitState.EXECUTING, UnitState.DONE)
+
+    def test_multiple_hooks_all_fire_in_order(self):
+        pilot = make_pilot()
+        order = []
+        pilot.transition_hooks.append(lambda *a: order.append("first"))
+        pilot.transition_hooks.append(lambda *a: order.append("second"))
+        pilot.advance(PilotState.PENDING_LAUNCH)
+        assert order == ["first", "second"]
+
+    def test_hook_receives_entity(self):
+        unit = make_unit()
+        seen = []
+        unit.transition_hooks.append(lambda u, old, new: seen.append(u))
+        unit.advance(UnitState.UNSCHEDULED)
+        assert seen == [unit]
+
+    def test_hooks_fire_after_db_update(self):
+        # the hook must observe the *published* state, not the stale one
+        pilot = make_pilot()
+        published = []
+        pilot.transition_hooks.append(
+            lambda p, old, new: published.append(p.db.get(p.pilot_id, "state"))
+        )
+        pilot.advance(PilotState.PENDING_LAUNCH)
+        assert published == [PilotState.PENDING_LAUNCH.value]

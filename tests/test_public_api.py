@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.evaluation",
     "repro.bench",
+    "repro.obs",
 ]
 
 
