@@ -11,6 +11,21 @@ from repro.bench.calibration import calibrated_cost_model
 from repro.seq.datasets import tiny_dataset
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="downscaled quick pass for CI: tiny inputs, relaxed speedup "
+        "floors, no BENCH_*.json files rewritten",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def ds_single():
     return tiny_dataset(paired=False, seed=1)

@@ -1,0 +1,195 @@
+"""Encode-once ReadStore + assembly cache speedup on the MAMP fan-out.
+
+The measured workload is the paper's sample-run shape — "the total 6
+jobs, corresponding to two k-mer assemblies for each assembler" — run
+TWICE through the process backend, the way S2 VM reuse, pilot restarts
+and repeated benchmark sweeps re-run it over byte-identical inputs:
+
+* **old path** — every workload carries its own ``tuple[FastqRecord]``
+  (re-pickled per unit per sweep, re-encoded inside every assembler) and
+  the assembly cache is off: sweep two repeats all six assemblies.
+* **new path** — the reads are encoded once into a shared-memory
+  :class:`~repro.seq.readstore.ReadStore` (every workload pickles to a
+  constant-size handle) and the content-addressed
+  :class:`~repro.core.assembly_cache.AssemblyCache` turns sweep two into
+  six hits.
+
+Both paths must produce bit-identical contigs, stats, usage (hence comm
+bytes) and virtual TTCs — the speedup is host-side only.  Results are
+written to ``BENCH_readstore.json`` at the repo root (skipped under
+``--smoke``, which also shrinks the input and relaxes the floor).
+"""
+
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.assembly.base import AssemblyParams
+from repro.cloud.clock import EventQueue, SimClock
+from repro.cloud.ec2 import EC2Region
+from repro.core.assembly_cache import AssemblyCache, use_assembly_cache
+from repro.core.multikmer import AssemblyWorkload, collect_assembly_results
+from repro.parallel.executor import ProcessExecutor
+from repro.pilot.db import StateStore
+from repro.pilot.description import PilotDescription, UnitDescription
+from repro.pilot.manager import PilotManager, UnitManager
+from repro.pilot.states import UnitState
+from repro.seq.readstore import ReadStore
+
+JOBS = [(a, k) for a in ("ray", "abyss", "velvet") for k in (31, 37)]
+SMOKE_JOBS = [(a, k) for a in ("ray", "abyss", "velvet") for k in (21, 25)]
+N_SWEEPS = 2
+N_RANKS = 4
+MIN_SPEEDUP = 1.5
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_readstore.json"
+
+
+def _descs(jobs, workload_for):
+    return [
+        UnitDescription(
+            name=f"{name}_k{k}",
+            work=workload_for(name, k),
+            cores=8,
+            scale=1.0,
+            stage="transcript-assembly",
+            tags={"assembler": name, "k": k},
+        )
+        for name, k in jobs
+    ]
+
+
+def _run_sweep(descs):
+    """One fan-out through the full pilot machinery on a fresh process
+    pool (fresh per sweep: workers fork after the parent cache was
+    populated, so sweep two sees the collected results copy-on-write)."""
+    clock = SimClock()
+    events = EventQueue(clock)
+    region = EC2Region(clock)
+    db = StateStore(clock)
+    pm = PilotManager(region, events, db)
+    pilot = pm.launch(pm.submit(PilotDescription("P", "c3.2xlarge", len(descs))))
+    with ProcessExecutor() as executor:
+        um = UnitManager(db, events, executor=executor)
+        um.add_pilot(pilot)
+        units = um.submit_units(descs)
+        um.run(units)
+        um.close()
+    assert all(u.state is UnitState.DONE for u in units)
+    return units, clock.now
+
+
+def _sweep_path(jobs, workload_for):
+    """Run N_SWEEPS identical fan-outs; returns (wall, per-sweep units,
+    per-sweep virtual end times)."""
+    all_units, vtimes = [], []
+    t0 = time.perf_counter()
+    for _ in range(N_SWEEPS):
+        units, vnow = _run_sweep(_descs(jobs, workload_for))
+        collect_assembly_results(units)  # parent-side cache population
+        all_units.append(units)
+        vtimes.append(vnow)
+    return time.perf_counter() - t0, all_units, vtimes
+
+
+def _psize(work):
+    return len(pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def test_readstore_and_cache_speedup(ds_single, report_sink, smoke):
+    jobs = SMOKE_JOBS if smoke else JOBS
+    reads = ds_single.run.all_reads()
+    if smoke:
+        reads = reads[:800]
+    ds = ds_single
+
+    def old_workload(name, k):
+        return AssemblyWorkload(
+            assembler_name=name,
+            params=AssemblyParams(k=k, min_contig_length=100),
+            n_ranks=N_RANKS,
+            reads=tuple(reads),
+            read_scale=ds.read_scale,
+            graph_scale=ds.scale,
+            use_cache=False,
+        )
+
+    store = ReadStore.from_reads(reads)
+
+    def new_workload(name, k):
+        return AssemblyWorkload(
+            assembler_name=name,
+            params=AssemblyParams(k=k, min_contig_length=100),
+            n_ranks=N_RANKS,
+            store=store,
+            read_scale=ds.read_scale,
+            graph_scale=ds.scale,
+        )
+
+    try:
+        old_wall, old_units, old_vtimes = _sweep_path(jobs, old_workload)
+        with use_assembly_cache(cache := AssemblyCache()):
+            new_wall, new_units, new_vtimes = _sweep_path(jobs, new_workload)
+    finally:
+        store.close()
+    speedup = old_wall / new_wall
+
+    # Sweep two of the new path must have been served from the cache.
+    assert len(cache) == len(jobs)
+
+    # -- parity: the optimisation must be invisible to every virtual
+    # quantity, across paths AND across sweeps within a path.
+    assert len(set(old_vtimes + new_vtimes)) == 1  # one virtual TTC
+    baseline = old_units[0]
+    for units in old_units[1:] + new_units:
+        for u, b in zip(units, baseline):
+            assert u.description.name == b.description.name
+            assert u.result.contigs == b.result.contigs
+            assert u.result.stats == b.result.stats
+            assert u.usage == b.usage
+            assert u.usage.comm_bytes == b.usage.comm_bytes
+            assert u.ttc == b.ttc
+
+    # -- the workloads themselves: O(1) handle vs O(reads) records.
+    old_bytes = _psize(old_workload(*jobs[0]))
+    store2 = ReadStore.from_reads(reads)
+    try:
+        new_bytes = _psize(
+            AssemblyWorkload(
+                assembler_name=jobs[0][0],
+                params=AssemblyParams(k=jobs[0][1], min_contig_length=100),
+                n_ranks=N_RANKS,
+                store=store2,
+            )
+        )
+    finally:
+        store2.close()
+
+    report_sink.append(
+        f"readstore+cache speedup ({len(jobs)} units x {N_SWEEPS} sweeps, "
+        f"{len(reads)} reads): old {old_wall:.2f}s vs new {new_wall:.2f}s "
+        f"({speedup:.2f}x); pickled workload {old_bytes} -> {new_bytes} B"
+    )
+
+    if not smoke:
+        record = {
+            "workload": {
+                "n_reads": len(reads),
+                "jobs": [f"{a}_k{k}" for a, k in jobs],
+                "n_sweeps": N_SWEEPS,
+                "n_ranks": N_RANKS,
+                "backend": "process",
+            },
+            "old_path_wall_s": round(old_wall, 3),
+            "new_path_wall_s": round(new_wall, 3),
+            "speedup": round(speedup, 2),
+            "min_required_speedup": MIN_SPEEDUP,
+            "cache_hits_second_sweep": len(jobs),
+            "pickled_workload_bytes": {"old": old_bytes, "new": new_bytes},
+            "parity": "contigs, stats, usage, comm bytes and virtual TTCs "
+            "identical across paths and sweeps",
+        }
+        RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert new_bytes < 2048 < old_bytes
+    assert speedup >= (1.0 if smoke else MIN_SPEEDUP)

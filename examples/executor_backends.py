@@ -45,9 +45,12 @@ def run_fanout(dataset, reads, executor: str):
     descs = [
         UnitDescription(
             name=f"{name}_k{k}",
+            # use_cache=False: this example compares backends on *real*
+            # work — the assembly cache would turn runs 2 and 3 into
+            # lookups and hide the backend's wall-time.
             work=make_assembly_workload(
                 name, reads, AssemblyParams(k=k, min_contig_length=100),
-                n_ranks=8, dataset=dataset,
+                n_ranks=8, dataset=dataset, use_cache=False,
             ),
             cores=8,
             scale=1.0,

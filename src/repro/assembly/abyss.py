@@ -24,6 +24,7 @@ from repro.assembly.dbg import extract_unitigs
 from repro.assembly.ray import distribute_and_count, merge_shards
 from repro.parallel.comm import SimWorld
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 
 class AbyssAssembler:
@@ -37,11 +38,22 @@ class AbyssAssembler:
         params: AssemblyParams,
         n_ranks: int = 8,
     ) -> AssemblyResult:
+        """Legacy record-list entry point (thin encode-once adapter)."""
+        return self.assemble_encoded(
+            ReadStore.from_reads(reads), params, n_ranks=n_ranks
+        )
+
+    def assemble_encoded(
+        self,
+        store: ReadStore,
+        params: AssemblyParams,
+        n_ranks: int = 8,
+    ) -> AssemblyResult:
         world = SimWorld(n_ranks)
         p = world.size
         k = params.k
 
-        shards = distribute_and_count(world, reads, k)
+        shards = distribute_and_count(world, store, k)
 
         with world.phase("graph_build", kind="graph"):
             for r in world.ranks():

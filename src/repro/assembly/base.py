@@ -61,3 +61,18 @@ def unitigs_to_contigs(
 
 def read_sequences(reads: list[FastqRecord]) -> list[str]:
     return [r.seq for r in reads]
+
+
+def assemble_encoded(assembler, store, params: AssemblyParams, **kwargs):
+    """Run one assembly from a :class:`~repro.seq.readstore.ReadStore`.
+
+    Dispatches to the assembler's array-native ``assemble_encoded``
+    entry point when it has one; otherwise adapts through the legacy
+    record path by materializing ``FastqRecord`` objects once.  All
+    in-tree assemblers implement the native path — the fallback keeps
+    third-party/duck-typed assemblers working unchanged.
+    """
+    native = getattr(assembler, "assemble_encoded", None)
+    if native is not None:
+        return native(store, params, **kwargs)
+    return assembler.assemble(store.records(), params, **kwargs)

@@ -42,8 +42,8 @@ from repro.assembly.kmers import (
     revcomp_kmer,
 )
 from repro.parallel.mapreduce import MapReduceEngine, MRJob
-from repro.seq import alphabet
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 
 class ContrailInputError(ValueError):
@@ -106,7 +106,22 @@ class ContrailAssembler:
         n_ranks: int = 8,
         fail_on_n: bool = False,
     ) -> AssemblyResult:
-        if fail_on_n and any("N" in r.seq for r in reads):
+        """Legacy record-list entry point (thin encode-once adapter)."""
+        return self.assemble_encoded(
+            ReadStore.from_reads(reads),
+            params,
+            n_ranks=n_ranks,
+            fail_on_n=fail_on_n,
+        )
+
+    def assemble_encoded(
+        self,
+        store: ReadStore,
+        params: AssemblyParams,
+        n_ranks: int = 8,
+        fail_on_n: bool = False,
+    ) -> AssemblyResult:
+        if fail_on_n and store.contains_n():
             raise ContrailInputError(
                 "input reads contain uncalled bases (N); Contrail requires "
                 "pre-processed reads (see paper, Fig. 3 discussion)"
@@ -114,7 +129,7 @@ class ContrailAssembler:
         engine = MapReduceEngine(n_ranks)
         k = params.k
 
-        counts = self._job_kmer_count(engine, reads, params)
+        counts = self._job_kmer_count_encoded(engine, store, params)
         segments = {
             i: _Segment(sid=i, codes=kmer, cov_sum=float(c), n_kmers=1)
             for i, (kmer, c) in enumerate(sorted(counts.items()))
@@ -167,14 +182,27 @@ class ContrailAssembler:
         reads: list[FastqRecord],
         params: AssemblyParams,
     ) -> dict[bytes, int]:
+        return self._job_kmer_count_encoded(
+            engine, ReadStore.from_reads(reads), params
+        )
+
+    def _job_kmer_count_encoded(
+        self,
+        engine: MapReduceEngine,
+        store: ReadStore,
+        params: AssemblyParams,
+    ) -> dict[bytes, int]:
         k = params.k
         min_count = params.min_count
 
         # Keys travel as packed integers (order-isomorphic to the code
         # bytes) but are priced at their logical k-byte record size, so
         # shuffle bytes and reducer memory match the bytes-keyed job.
-        def mapper(_rid, seq):
-            rows = canonical_kmers_packed(alphabet.encode(seq), k)
+        # Input records are zero-copy code views off the shared store —
+        # safe for accounting because the engine only *counts* map input
+        # records, it never prices their payloads.
+        def mapper(_rid, codes):
+            rows = canonical_kmers_packed(codes, k)
             for key in packedmod.packed_to_ints(rows, k):
                 yield key, 1
 
@@ -193,7 +221,9 @@ class ContrailAssembler:
             combiner=combiner,
             key_nbytes=lambda _key: k,
         )
-        out = engine.run(job, [(r.id, r.seq) for r in reads])
+        out = engine.run(
+            job, [(i, store.read_codes(i)) for i in range(store.n_reads)]
+        )
         int_keys = [key for key, _c in out]
         byte_keys = packedmod.unpack_to_bytes(
             packedmod.ints_to_packed(int_keys, k), k

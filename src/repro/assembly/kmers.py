@@ -145,6 +145,49 @@ def canonical_kmers_varlen_packed(seqs: list[str], k: int) -> np.ndarray:
     return canonical_kmers_packed(np.concatenate(parts[:-1]), k)
 
 
+def canonical_kmers_encoded_packed(
+    parts: list[np.ndarray], k: int
+) -> np.ndarray:
+    """Canonical packed k-mers of pre-encoded variable-length code arrays.
+
+    Array-native twin of :func:`canonical_kmers_varlen_packed`: the same
+    join-with-single-N-separator extraction in one windowing pass, minus
+    the per-call string encoding; output rows and order are identical.
+    """
+    packedmod.check_k(k)
+    sep = np.array([alphabet.N], dtype=np.uint8)
+    joined: list[np.ndarray] = []
+    for codes in parts:
+        if codes.shape[0] >= k:
+            joined.append(codes)
+            joined.append(sep)
+    if not joined:
+        return np.zeros((0, packedmod.words_for(k)), dtype=np.uint64)
+    return canonical_kmers_packed(np.concatenate(joined[:-1]), k)
+
+
+def canonical_kmers_store_packed(
+    store, k: int, indices: np.ndarray | None = None
+) -> np.ndarray:
+    """Canonical packed k-mers of (a subset of) a
+    :class:`~repro.seq.readstore.ReadStore`.
+
+    The store's flat code layout — every read followed by a single N
+    separator — already *is* the joined form the varlen extractor builds
+    per call, so the full-store path is one windowing pass with no
+    encoding or concatenation at all; ``indices`` selects a read subset
+    (e.g. one rank's stripe) via a vectorized ragged gather.  Both paths
+    are bit-identical to :func:`canonical_kmers_varlen_packed` on the
+    same records: windows touching a separator contain an N and are
+    dropped, and reads shorter than k contribute no windows.
+    """
+    packedmod.check_k(k)
+    codes = store.codes if indices is None else store.subset_codes(indices)
+    if codes.shape[0] == 0:
+        return np.zeros((0, packedmod.words_for(k)), dtype=np.uint64)
+    return canonical_kmers_packed(codes, k)
+
+
 def kmer_counts_packed(
     packed_rows: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:

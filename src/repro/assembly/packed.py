@@ -233,6 +233,31 @@ def unique_counts(packed: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     return packed[first], counts.astype(np.int64)
 
 
+def unique_keys(packed: np.ndarray, k: int) -> np.ndarray:
+    """Distinct sortable keys (see :func:`keys`) in ascending key order.
+
+    The array-native replacement for ``set(key_list(...))``: ascending
+    uint64/S16 key order equals the code-lexicographic k-mer order, so
+    the result pairs with :func:`keys_in` for vectorized membership.
+    """
+    return np.unique(keys(packed, k))
+
+
+def keys_in(query: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``query`` keys in a sorted key array.
+
+    Vectorized ``searchsorted`` probe; works for both key dtypes (uint64
+    and memcmp-ordered ``S16``).
+    """
+    query = np.asarray(query)
+    if sorted_keys.size == 0:
+        return np.zeros(query.shape[0], dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_keys, query), sorted_keys.size - 1
+    )
+    return sorted_keys[pos] == query
+
+
 # -- single-k-mer conveniences (legacy bytes interop) -------------------------
 
 

@@ -30,17 +30,18 @@ from repro.assembly.contigs import AssemblyResult, assembly_stats
 from repro.assembly.dbg import KmerTable, build_kmer_table_packed
 from repro.assembly.dbg import extract_unitigs
 from repro.assembly.kmers import (
-    canonical_kmers_varlen_packed,
+    canonical_kmers_store_packed,
     kmer_counts_packed,
     kmer_owner_packed,
 )
 from repro.parallel.comm import SimWorld
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 
 def distribute_and_count(
     world: SimWorld,
-    reads: list[FastqRecord],
+    reads: "ReadStore | list[FastqRecord]",
     k: int,
     kind_prefix: str = "",
 ) -> list[KmerTable]:
@@ -49,16 +50,22 @@ def distribute_and_count(
     Splits reads over ranks, extracts packed k-mers locally, exchanges
     them to their hash owners via alltoall, and counts each shard into a
     sorted-array :class:`KmerTable`.  Returns the per-rank shard tables.
+
+    Accepts the encode-once :class:`ReadStore` directly; a record list
+    is encoded once up front.  Each rank's stripe is gathered from the
+    shared code arrays — the extracted k-mer stream is bit-identical to
+    the historical per-read ``reads[r::p]`` path.
     """
+    store = (
+        reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
+    )
     p = world.size
 
     with world.phase(f"{kind_prefix}kmer_extract", kind="kmer"):
         send: list[list[np.ndarray]] = [[None] * p for _ in range(p)]
         for r in world.ranks():
-            local_reads = reads[r::p]
-            kmers = canonical_kmers_varlen_packed(
-                [x.seq for x in local_reads], k
-            )
+            stripe = np.arange(r, store.n_reads, p, dtype=np.int64)
+            kmers = canonical_kmers_store_packed(store, k, indices=stripe)
             world.charge(r, float(kmers.shape[0]))
             owners = kmer_owner_packed(kmers, k, p)
             for dst in range(p):
@@ -104,11 +111,22 @@ class RayAssembler:
         params: AssemblyParams,
         n_ranks: int = 8,
     ) -> AssemblyResult:
+        """Legacy record-list entry point (thin encode-once adapter)."""
+        return self.assemble_encoded(
+            ReadStore.from_reads(reads), params, n_ranks=n_ranks
+        )
+
+    def assemble_encoded(
+        self,
+        store: ReadStore,
+        params: AssemblyParams,
+        n_ranks: int = 8,
+    ) -> AssemblyResult:
         world = SimWorld(n_ranks)
         p = world.size
         k = params.k
 
-        shards = distribute_and_count(world, reads, k)
+        shards = distribute_and_count(world, store, k)
 
         # Coverage threshold is applied locally on each shard.
         with world.phase("graph_build", kind="graph"):

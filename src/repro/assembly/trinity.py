@@ -13,17 +13,22 @@ lower nucleotide-level precision, comparable weighted k-mer scores.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.assembly import packed as packedmod
 from repro.assembly.base import AssemblyParams, unitigs_to_contigs
 from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
 from repro.assembly.dbg import build_kmer_table_packed, extract_unitigs
 from repro.assembly.kmers import (
-    canonical_kmers_varlen_packed,
+    canonical_kmers_encoded_packed,
+    canonical_kmers_packed,
     kmer_counts_packed,
 )
 from repro.parallel.usage import PhaseUsage, ResourceUsage
+from repro.seq import alphabet
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 TRINITY_K = 25
 
@@ -43,27 +48,38 @@ class TrinityAssembler:
         """Trinity-style preparation: trim trailing hard-low-quality bases,
         then in-silico normalization — a read is dropped when the k-mers
         it would add are already at the target depth.  No exact
-        deduplication and no N filtering (unlike the pipeline's QC)."""
+        deduplication and no N filtering (unlike the pipeline's QC).
+
+        Sequences come back normalized to the ``ACGTN`` alphabet (the
+        same normalization every k-mer consumer applies)."""
+        return [
+            alphabet.decode(codes)
+            for codes in self._prepare_encoded(ReadStore.from_reads(reads))
+        ]
+
+    def _prepare_encoded(self, store: ReadStore) -> list[np.ndarray]:
+        """Array-native preparation over the encode-once store; returns
+        the kept reads as trimmed code arrays (zero-copy views)."""
         trimmed = []
-        for r in reads:
-            ph = r.phred()
-            end = len(r)
+        for i in range(store.n_reads):
+            ph = store.phred(i)
+            end = int(ph.size)
             while end > 0 and ph[end - 1] < self.hard_trim_quality:
                 end -= 1
             if end >= TRINITY_K:
-                trimmed.append(r.seq[:end])
+                trimmed.append(store.read_codes(i)[:end])
 
         depth: dict[int, int] = {}
         out = []
-        for seq in trimmed:
-            rows = canonical_kmers_varlen_packed([seq], TRINITY_K)
+        for codes in trimmed:
+            rows = canonical_kmers_packed(codes, TRINITY_K)
             if rows.shape[0] == 0:
                 continue
             keys = packedmod.key_list(rows, TRINITY_K)
             counts = sorted(depth.get(key, 0) for key in keys)
             if counts[len(counts) // 2] >= self.normalize_depth:
                 continue  # locus already saturated
-            out.append(seq)
+            out.append(codes)
             for key in keys:
                 depth[key] = depth.get(key, 0) + 1
         return out
@@ -71,6 +87,17 @@ class TrinityAssembler:
     def assemble(
         self,
         reads: list[FastqRecord],
+        params: AssemblyParams | None = None,
+        n_threads: int = 8,
+    ) -> AssemblyResult:
+        """Legacy record-list entry point (thin encode-once adapter)."""
+        return self.assemble_encoded(
+            ReadStore.from_reads(reads), params, n_threads=n_threads
+        )
+
+    def assemble_encoded(
+        self,
+        store: ReadStore,
         params: AssemblyParams | None = None,
         n_threads: int = 8,
     ) -> AssemblyResult:
@@ -83,8 +110,8 @@ class TrinityAssembler:
         min_contig = params.min_contig_length if params else 100
         usage = ResourceUsage(n_ranks=1)
 
-        seqs = self.prepare_reads(reads)
-        kmers = canonical_kmers_varlen_packed(seqs, TRINITY_K)
+        prepared = self._prepare_encoded(store)
+        kmers = canonical_kmers_encoded_packed(prepared, TRINITY_K)
         usage.add_phase(
             PhaseUsage(
                 name="kmer_count",

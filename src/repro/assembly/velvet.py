@@ -14,11 +14,12 @@ from repro.assembly.cleanup import clean_unitigs
 from repro.assembly.contigs import AssemblyResult, assembly_stats
 from repro.assembly.dbg import build_kmer_table_packed, extract_unitigs
 from repro.assembly.kmers import (
-    canonical_kmers_varlen_packed,
+    canonical_kmers_store_packed,
     kmer_counts_packed,
 )
 from repro.parallel.usage import PhaseUsage, ResourceUsage
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 
 class VelvetAssembler:
@@ -32,9 +33,20 @@ class VelvetAssembler:
         params: AssemblyParams,
         n_threads: int = 8,
     ) -> AssemblyResult:
+        """Legacy record-list entry point (thin encode-once adapter)."""
+        return self.assemble_encoded(
+            ReadStore.from_reads(reads), params, n_threads=n_threads
+        )
+
+    def assemble_encoded(
+        self,
+        store: ReadStore,
+        params: AssemblyParams,
+        n_threads: int = 8,
+    ) -> AssemblyResult:
         usage = ResourceUsage(n_ranks=1)
 
-        kmers = canonical_kmers_varlen_packed([r.seq for r in reads], params.k)
+        kmers = canonical_kmers_store_packed(store, params.k)
         usage.add_phase(
             PhaseUsage(
                 name="kmer_count",

@@ -4,22 +4,34 @@ Builds one compute unit per (assembler, k) pair — the paper's sample run
 submits "the total 6 jobs, corresponding to two k-mer assemblies for each
 assembler" to SGE — and provides the workload closures that run the real
 assemblers on the pre-processed reads.
+
+The fan-out follows an encode-once discipline: the reads are encoded one
+time into a shared :class:`~repro.seq.readstore.ReadStore` and every
+workload carries only a cheap store reference — O(1) to pickle under the
+process backend (a shared-memory handle), zero per-unit copying, and one
+shared code array feeding every per-k extraction.  A content-addressed
+:class:`~repro.core.assembly_cache.AssemblyCache` keyed by the store
+digest short-circuits byte-identical re-runs (VM reuse, restarts,
+repeated sweeps) with bit-identical results and virtual TTCs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.assembly.base import AssemblyParams
+from repro.assembly.base import AssemblyParams, assemble_encoded
 from repro.assembly.contigs import AssemblyResult
 from repro.assembly.registry import get_assembler
 from repro.cloud.instances import get_instance_type
+from repro.core.assembly_cache import get_assembly_cache
 from repro.core.scaling import paper_usage_from_scales
 from repro.core.memory import task_memory_bytes
 from repro.core.planner import AssemblyPlan
+from repro.obs import get_tracer
 from repro.pilot.description import UnitDescription
 from repro.seq.datasets import DatasetSpec
 from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore
 
 #: Assemblers taking an ``n_ranks`` argument (distributed implementations).
 DISTRIBUTED_ASSEMBLERS = frozenset({"ray", "abyss", "contrail"})
@@ -35,22 +47,95 @@ class AssemblyWorkload:
     ratios are set, the measured usage is extrapolated to paper scale
     with the per-phase factors of :mod:`repro.core.scaling` (the unit is
     then submitted with ``scale=1``).
+
+    Exactly one of ``store``/``reads`` is set.  ``store`` is the
+    encode-once path: the workload pickles to a constant-size
+    shared-memory handle regardless of read count, and (unless
+    ``use_cache`` is off) consults the content-addressed assembly cache
+    before running.  ``reads`` is the legacy self-contained record tuple,
+    kept for old callers and as the old-path baseline in benchmarks.
     """
 
     assembler_name: str
-    reads: tuple[FastqRecord, ...]
     params: AssemblyParams
     n_ranks: int
+    store: ReadStore | None = None
+    reads: tuple[FastqRecord, ...] | None = None
     read_scale: float | None = None
     graph_scale: float | None = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.store is None) == (self.reads is None):
+            raise ValueError("exactly one of store/reads must be set")
+
+    def cache_key(self):
+        """Content address of this workload, or None when uncacheable."""
+        if self.store is None or not self.use_cache:
+            return None
+        return (
+            self.store.digest,
+            self.assembler_name,
+            self.params,
+            self.n_ranks,
+        )
+
+    def _assemble(self) -> AssemblyResult:
+        assembler = get_assembler(self.assembler_name)
+        kwargs = (
+            {"n_ranks": self.n_ranks}
+            if self.assembler_name in DISTRIBUTED_ASSEMBLERS
+            else {}
+        )
+        if self.store is not None:
+            return assemble_encoded(assembler, self.store, self.params, **kwargs)
+        return assembler.assemble(list(self.reads), self.params, **kwargs)
+
+    def record_result(self, result: AssemblyResult) -> None:
+        """Insert a collected *raw* result into the active cache.
+
+        Called by :func:`collect_assembly_results` on the parent side so
+        results computed in pool workers (whose in-worker cache inserts
+        never cross the process boundary) become hits for later sweeps.
+        """
+        key = self.cache_key()
+        if key is None:
+            return
+        cache = get_assembly_cache()
+        if cache is not None:
+            cache.put(key, result)
 
     def __call__(self):
-        assembler = get_assembler(self.assembler_name)
-        reads = list(self.reads)
-        if self.assembler_name in DISTRIBUTED_ASSEMBLERS:
-            result = assembler.assemble(reads, self.params, n_ranks=self.n_ranks)
-        else:
-            result = assembler.assemble(reads, self.params)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "assembly_workload",
+                category="workload",
+                assembler=self.assembler_name,
+                k=self.params.k,
+            ):
+                return self._execute(tracer)
+        return self._execute(tracer)
+
+    def _execute(self, tracer):
+        key = self.cache_key()
+        cache = get_assembly_cache() if key is not None else None
+        result = cache.get(key) if cache is not None else None
+        if cache is not None and tracer.enabled:
+            outcome = "hit" if result is not None else "miss"
+            tracer.count(f"assembly_cache.{outcome}")
+            tracer.event(
+                "assembly_cache.lookup",
+                category="cache",
+                assembler=self.assembler_name,
+                k=self.params.k,
+                n_ranks=self.n_ranks,
+                outcome=outcome,
+            )
+        if result is None:
+            result = self._assemble()
+            if cache is not None:
+                cache.put(key, result)
         usage = result.usage
         if self.read_scale is not None and self.graph_scale is not None:
             usage = paper_usage_from_scales(
@@ -61,40 +146,53 @@ class AssemblyWorkload:
 
 def make_assembly_workload(
     assembler_name: str,
-    reads: list[FastqRecord],
+    reads: "ReadStore | list[FastqRecord]",
     params: AssemblyParams,
     n_ranks: int,
     dataset=None,
+    use_cache: bool = True,
 ) -> AssemblyWorkload:
     """Workload executing one real assembly; returns (result, usage).
 
-    When ``dataset`` is given, only its two extrapolation ratios are
-    captured — the workload stays cheap to pickle."""
+    ``reads`` is ideally an already-built (shared) :class:`ReadStore`;
+    a record list is encoded once here.  When ``dataset`` is given, only
+    its two extrapolation ratios are captured — the workload stays cheap
+    to pickle."""
 
+    store = (
+        reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
+    )
     return AssemblyWorkload(
         assembler_name=assembler_name,
-        reads=tuple(reads),
         params=params,
         n_ranks=n_ranks,
+        store=store,
         read_scale=None if dataset is None else dataset.read_scale,
         graph_scale=None if dataset is None else dataset.scale,
+        use_cache=use_cache,
     )
 
 
 def assembly_unit_descriptions(
     plan: AssemblyPlan,
     spec: DatasetSpec,
-    reads: list[FastqRecord],
+    reads: "ReadStore | list[FastqRecord]",
     dataset,
     min_count: int = 2,
     min_contig_length: int = 100,
     input_bytes: int | None = None,
+    use_cache: bool = True,
 ) -> list[UnitDescription]:
     """One UnitDescription per (assembler, k) job in the plan.
 
     ``dataset`` provides the paper-scale extrapolation factors; workloads
     hand back already-extrapolated usage, so units carry ``scale=1``.
+    The reads are encoded exactly once — every unit's workload shares the
+    same :class:`ReadStore`.
     """
+    store = (
+        reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
+    )
     itype = get_instance_type(plan.instance_type)
     if input_bytes is None:
         input_bytes = spec.preprocessed_bytes
@@ -110,7 +208,12 @@ def assembly_unit_descriptions(
             UnitDescription(
                 name=f"{assembler}_k{k}",
                 work=make_assembly_workload(
-                    assembler, reads, params, cores, dataset=dataset
+                    assembler,
+                    store,
+                    params,
+                    cores,
+                    dataset=dataset,
+                    use_cache=use_cache,
                 ),
                 cores=cores,
                 memory_bytes=task_memory_bytes(spec, "assembly", n_nodes=1),
@@ -124,10 +227,18 @@ def assembly_unit_descriptions(
 
 
 def collect_assembly_results(units) -> dict[tuple[str, int], AssemblyResult]:
-    """Map finished assembly units back to (assembler, k) keys."""
+    """Map finished assembly units back to (assembler, k) keys.
+
+    Also records each collected raw result into the assembly cache (see
+    :meth:`AssemblyWorkload.record_result`) so results computed inside
+    pool workers are available as parent-side hits for later sweeps.
+    """
     out: dict[tuple[str, int], AssemblyResult] = {}
     for u in units:
         if u.result is not None:
+            work = u.description.work
+            if isinstance(work, AssemblyWorkload):
+                work.record_result(u.result)
             key = (u.description.tags["assembler"], u.description.tags["k"])
             out[key] = u.result
     return out

@@ -36,6 +36,7 @@ from repro.pilot.manager import PilotManager, UnitManager
 from repro.pilot.scheduler import MemoryAwareScheduler, SchedulingError
 from repro.pilot.states import UnitState
 from repro.seq.datasets import Dataset
+from repro.seq.readstore import ReadStore
 
 
 class PipelineError(RuntimeError):
@@ -63,6 +64,10 @@ class PipelineConfig:
     #: serially: their workloads are closures over pipeline state.
     executor: str | WorkloadExecutor = "serial"
     executor_workers: int | None = None
+    #: Consult the content-addressed assembly cache for the fan-out
+    #: (bit-identical hits; see repro.core.assembly_cache).  Off only for
+    #: benchmarking the uncached path.
+    assembly_cache: bool = True
 
     def __post_init__(self) -> None:
         if not self.assemblers:
@@ -319,13 +324,18 @@ class RnnotatorPipeline:
             executor=make_executor(config.executor, config.executor_workers),
         )
         umb.add_pilot(pb)
+        # Encode the pre-processed reads exactly once; every fan-out unit
+        # shares this store (and, under the process backend, attaches to
+        # its shared-memory segment instead of unpickling record tuples).
+        store = ReadStore.from_reads(pre.reads)
         descs = multikmer.assembly_unit_descriptions(
             plan,
             spec,
-            pre.reads,
+            store,
             dataset,
             min_count=config.min_count,
             min_contig_length=config.min_contig_length,
+            use_cache=config.assembly_cache,
         )
         t0 = clock.now
         w0 = time.perf_counter()
@@ -335,6 +345,7 @@ class RnnotatorPipeline:
         finally:
             if isinstance(config.executor, str):
                 umb.close()  # the pipeline owns backends it created
+            store.close()  # unlinks the shared segment iff one was created
         failed = [u for u in units if u.state is not UnitState.DONE]
         if failed:
             raise PipelineError(

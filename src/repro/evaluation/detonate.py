@@ -48,12 +48,15 @@ class DetonateScores:
         return (self.precision, self.recall, self.f1)
 
 
-def _kmer_set(seqs: list[str], k: int) -> set:
-    """Distinct canonical k-mers as packed key scalars."""
+def _kmer_keys(seqs: list[str], k: int) -> np.ndarray:
+    """Distinct canonical k-mers as a sorted packed-key array.
+
+    Array-native successor of the historical ``set(key_list(...))``:
+    no per-k-mer Python objects; membership goes through the vectorized
+    ``searchsorted`` probe of :func:`repro.assembly.packed.keys_in`.
+    """
     rows = canonical_kmers_varlen_packed(seqs, k)
-    if rows.size == 0:
-        return set()
-    return set(packedmod.key_list(rows, k))
+    return packedmod.unique_keys(rows, k)
 
 
 def evaluate(
@@ -103,15 +106,15 @@ def evaluate(
     )
 
     # -- k-mer level ----------------------------------------------------------
-    assembly_kmers = _kmer_set([c.seq for c in contigs], kmer_k)
+    assembly_kmers = _kmer_keys([c.seq for c in contigs], kmer_k)
     weights = reference.read_sampling_weights()
     wkr_num = 0.0
     wkr_den = 0.0
     for t, w in zip(reference.transcripts, weights):
-        t_kmers = _kmer_set([t.seq], kmer_k)
-        if not t_kmers:
+        t_kmers = _kmer_keys([t.seq], kmer_k)
+        if t_kmers.size == 0:
             continue
-        present = sum(1 for km in t_kmers if km in assembly_kmers)
+        present = int(packedmod.keys_in(t_kmers, assembly_kmers).sum())
         wkr_num += w * present / len(t_kmers)
         wkr_den += w
     wkr = wkr_num / wkr_den if wkr_den else 0.0

@@ -29,6 +29,7 @@ construction backend-independent — virtual TTCs.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -212,6 +213,27 @@ class ProcessExecutor(_PoolExecutor):
     """
 
     name = "process"
+
+    def submit(self, work: Workload) -> WorkloadHandle:
+        tracer = get_tracer()
+        if tracer.enabled:
+            # What crosses the process boundary is the pickled workload;
+            # encode-once workloads must stay O(1) here regardless of
+            # read count (the ReadStore pickles to a shm handle).
+            try:
+                pickled_bytes = len(
+                    pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except Exception:
+                pickled_bytes = -1
+            tracer.event(
+                "executor.submit_pickle",
+                category="executor",
+                backend=self.name,
+                nbytes=pickled_bytes,
+            )
+            tracer.observe("workload_pickle_bytes", float(pickled_bytes))
+        return super().submit(work)
 
     def _make_pool(self) -> ProcessPoolExecutor:
         import multiprocessing as mp

@@ -16,6 +16,7 @@ from repro.seq.alphabet import (
 )
 from repro.seq.fasta import FastaRecord, read_fasta, write_fasta
 from repro.seq.fastq import FastqRecord, read_fastq, write_fastq
+from repro.seq.readstore import ReadStore, ReadStoreHandle
 from repro.seq.genome import Gene, Genome, GenomeSpec, synthesize_genome
 from repro.seq.transcriptome import Transcript, Transcriptome, expression_profile
 from repro.seq.reads import ReadSimulator, ReadSimSpec, SequencingRun
@@ -33,6 +34,8 @@ __all__ = [
     "FastqRecord",
     "read_fastq",
     "write_fastq",
+    "ReadStore",
+    "ReadStoreHandle",
     "Gene",
     "Genome",
     "GenomeSpec",

@@ -1,0 +1,145 @@
+"""Parity of the array-native assemble_encoded() path against the
+record-list assemble() adapter, and of the numpy detonate k-mer path
+against the historical set-based computation."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import packed as packedmod
+from repro.assembly.base import AssemblyParams, assemble_encoded
+from repro.assembly.contigs import Contig
+from repro.assembly.kmers import canonical_kmers_varlen_packed
+from repro.assembly.registry import get_assembler
+from repro.core.assembly_cache import use_assembly_cache
+from repro.core.multikmer import AssemblyWorkload
+from repro.evaluation.detonate import KMER_METRIC_K, evaluate
+from repro.seq.alphabet import decode, encode, random_dna
+from repro.seq.readstore import ReadStore
+from repro.seq.transcriptome import Transcript, Transcriptome
+
+ASSEMBLERS = ["velvet", "ray", "abyss", "contrail", "trinity"]
+PARAMS = AssemblyParams(k=21)
+
+
+def _result_tuple(result):
+    return (result.assembler, result.k, result.contigs, result.stats,
+            result.usage, result.usage.phases)
+
+
+@pytest.mark.parametrize("name", ASSEMBLERS)
+def test_assemble_matches_assemble_encoded(name, reads_single):
+    reads = reads_single[:800]
+    assembler = get_assembler(name)
+    store = ReadStore.from_reads(reads)
+    legacy = assembler.assemble(list(reads), PARAMS)
+    encoded = assembler.assemble_encoded(store, PARAMS)
+    assert _result_tuple(legacy) == _result_tuple(encoded)
+
+
+def test_some_assembler_produces_contigs(reads_single):
+    """Guard: the parity above must not be comparing empty to empty."""
+    store = ReadStore.from_reads(reads_single[:800])
+    result = get_assembler("velvet").assemble_encoded(store, PARAMS)
+    assert result.contigs
+
+
+def test_module_dispatch_falls_back_to_records(reads_single):
+    """assemble_encoded() must serve assemblers without an encoded path
+    by decoding the store back to records."""
+
+    class LegacyOnly:
+        def assemble(self, reads, params, **kwargs):
+            return ("legacy", len(reads), params.k, kwargs)
+
+    store = ReadStore.from_reads(reads_single[:30])
+    out = assemble_encoded(LegacyOnly(), store, PARAMS, n_ranks=3)
+    assert out == ("legacy", 30, 21, {"n_ranks": 3})
+
+
+@pytest.mark.parametrize("name,n_ranks", [("ray", 4), ("contrail", 2)])
+def test_workload_store_vs_legacy_reads_parity(name, n_ranks, reads_single):
+    """The encode-once workload and the legacy record-tuple workload
+    produce identical contigs, stats and usage (hence comm bytes and,
+    downstream, virtual TTCs)."""
+    reads = reads_single[:600]
+    common = dict(
+        assembler_name=name, params=PARAMS, n_ranks=n_ranks,
+        read_scale=4.0, graph_scale=2.0,
+    )
+    with use_assembly_cache(None):
+        store = ReadStore.from_reads(reads)
+        r_new, u_new = AssemblyWorkload(store=store, **common)()
+        r_old, u_old = AssemblyWorkload(reads=tuple(reads), **common)()
+    assert _result_tuple(r_new) == _result_tuple(r_old)
+    assert u_new == u_old
+    assert u_new.comm_bytes == u_old.comm_bytes
+
+
+class TestDetonateKmerParity:
+    def _refs(self, n=4, length=300, seed=7):
+        rng = np.random.default_rng(seed)
+        return [decode(random_dna(length, rng)) for _ in range(n)]
+
+    def test_unique_keys_and_membership_match_sets(self):
+        refs = self._refs()
+        k = KMER_METRIC_K
+        rows_a = canonical_kmers_varlen_packed(refs[:2], k)
+        rows_b = canonical_kmers_varlen_packed(refs[1:], k)
+        set_a = set(packedmod.key_list(rows_a, k))
+        uniq_a = packedmod.unique_keys(rows_a, k)
+        assert sorted(set_a) == packedmod.keys(uniq_a, k).tolist()
+        probe = packedmod.unique_keys(rows_b, k)
+        got = packedmod.keys_in(probe, uniq_a)
+        want = np.array(
+            [key in set_a for key in packedmod.key_list(probe, k)]
+        )
+        np.testing.assert_array_equal(got, want)
+        assert got.any() and not got.all()  # overlap is partial
+
+    def test_keys_in_empty_haystack(self):
+        k = KMER_METRIC_K
+        probe = packedmod.unique_keys(
+            canonical_kmers_varlen_packed(self._refs(1), k), k
+        )
+        empty = np.empty(0, dtype=probe.dtype)
+        assert not packedmod.keys_in(probe, empty).any()
+
+    def test_scores_match_set_based_reference(self):
+        """Pin evaluate()'s WKR/kc against an independent set-based
+        recomputation (the pre-numpy algorithm)."""
+        refs = self._refs()
+        weights = [0.4, 0.3, 0.2, 0.1]
+        reference = Transcriptome(
+            "ref",
+            [
+                Transcript(f"t{i}", encode(s), w)
+                for i, (s, w) in enumerate(zip(refs, weights))
+            ],
+        )
+        contigs = [
+            Contig("c0", refs[0], 10.0, 31, "test"),
+            Contig("c1", refs[2][:150], 10.0, 31, "test"),
+        ]
+        scores = evaluate(contigs, reference, total_read_kmers=100_000)
+
+        k = KMER_METRIC_K
+        asm = set(
+            packedmod.key_list(
+                canonical_kmers_varlen_packed([c.seq for c in contigs], k), k
+            )
+        )
+        num = den = 0.0
+        for t, w in zip(reference.transcripts, weights):
+            tk = set(
+                packedmod.key_list(
+                    canonical_kmers_varlen_packed([t.seq], k), k
+                )
+            )
+            if not tk:
+                continue
+            num += w * len(tk & asm) / len(tk)
+            den += w
+        wkr = num / den
+        kc = wkr - len(asm) / (2.0 * 100_000)
+        assert scores.weighted_kmer_recall == round(wkr, 4)
+        assert scores.kc_score == round(kc, 4)

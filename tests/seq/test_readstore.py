@@ -1,0 +1,249 @@
+"""ReadStore: encode-once layout, extraction parity, shared-memory
+lifecycle (create/attach/close/unlink, double-close, leak-freedom)."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+import pytest
+
+from repro.assembly.kmers import (
+    canonical_kmers_store_packed,
+    canonical_kmers_varlen_packed,
+)
+from repro.seq import alphabet
+from repro.seq.fastq import FastqRecord
+from repro.seq.readstore import ReadStore, ReadStoreHandle
+
+
+def _mk(seqs, ids=None, quals=None):
+    return [
+        FastqRecord(
+            id=(ids[i] if ids else f"r{i}"),
+            seq=s,
+            qual=(quals[i] if quals else "I" * len(s)),
+        )
+        for i, s in enumerate(seqs)
+    ]
+
+
+READS = _mk(
+    ["ACGTACGTACGT", "TTTTGGGGCCCC", "ACGNNNTGCA", "AC", "GGGCCCAAATTT"],
+    quals=["IIIIIIIIIIII", "!!!!IIII####", "ABCDEFGHIJ", "##", "IIIIIIIII###"],
+)
+
+
+class TestLayout:
+    def test_roundtrip_records(self):
+        store = ReadStore.from_reads(READS)
+        assert store.records() == READS
+
+    def test_shapes_and_lengths(self):
+        store = ReadStore.from_reads(READS)
+        assert store.n_reads == len(READS) == len(store)
+        assert store.n_bases == sum(len(r) for r in READS)
+        assert store.lengths.tolist() == [len(r) for r in READS]
+        # one separator per read, including the trailing one
+        assert store.codes.size == store.n_bases + store.n_reads
+        assert store.quals.size == store.codes.size
+
+    def test_per_read_accessors(self):
+        store = ReadStore.from_reads(READS)
+        for i, r in enumerate(READS):
+            assert store.seq(i) == r.seq
+            assert store.read_id(i) == r.id
+            np.testing.assert_array_equal(
+                store.read_codes(i), alphabet.encode(r.seq)
+            )
+            np.testing.assert_array_equal(store.phred(i), r.phred())
+
+    def test_separators_are_n(self):
+        store = ReadStore.from_reads(READS)
+        seps = store.codes[store.offsets[1:] - 1]
+        assert (seps == alphabet.N).all()
+
+    def test_contains_n_excludes_separators(self):
+        assert not ReadStore.from_reads(_mk(["ACGT", "GGCC"])).contains_n()
+        assert ReadStore.from_reads(_mk(["ACGT", "GGNC"])).contains_n()
+
+    def test_empty_store(self):
+        store = ReadStore.from_reads([])
+        assert store.n_reads == 0 and store.n_bases == 0
+        assert store.records() == []
+        assert canonical_kmers_store_packed(store, 5).shape[0] == 0
+
+    def test_arrays_read_only(self):
+        store = ReadStore.from_reads(READS)
+        with pytest.raises(ValueError):
+            store.codes[0] = 1
+
+
+class TestExtractionParity:
+    @pytest.mark.parametrize("k", [3, 5, 11, 33])
+    def test_full_store_matches_varlen(self, reads_single, k):
+        reads = reads_single[:300]
+        store = ReadStore.from_reads(reads)
+        np.testing.assert_array_equal(
+            canonical_kmers_store_packed(store, k),
+            canonical_kmers_varlen_packed([r.seq for r in reads], k),
+        )
+
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_striped_subset_matches_slicing(self, reads_single, p):
+        reads = reads_single[:200]
+        store = ReadStore.from_reads(reads)
+        for r in range(p):
+            stripe = np.arange(r, store.n_reads, p, dtype=np.int64)
+            np.testing.assert_array_equal(
+                canonical_kmers_store_packed(store, 21, indices=stripe),
+                canonical_kmers_varlen_packed(
+                    [x.seq for x in reads[r::p]], 21
+                ),
+            )
+
+    def test_short_and_n_reads_contribute_nothing(self):
+        store = ReadStore.from_reads(READS)
+        got = canonical_kmers_store_packed(store, 11)
+        want = canonical_kmers_varlen_packed([r.seq for r in READS], 11)
+        np.testing.assert_array_equal(got, want)
+
+    def test_subset_codes_empty(self):
+        store = ReadStore.from_reads(READS)
+        assert store.subset_codes(np.array([], dtype=np.int64)).size == 0
+
+
+class TestDigest:
+    def test_content_addressed(self):
+        a = ReadStore.from_reads(READS)
+        b = ReadStore.from_reads(list(READS))
+        assert a.digest == b.digest and a == b and hash(a) == hash(b)
+
+    def test_sensitive_to_base_qual_id_and_order(self):
+        base = ReadStore.from_reads(_mk(["ACGT", "GGCC"])).digest
+        assert ReadStore.from_reads(_mk(["ACGA", "GGCC"])).digest != base
+        assert (
+            ReadStore.from_reads(
+                _mk(["ACGT", "GGCC"], quals=["III!", "IIII"])
+            ).digest
+            != base
+        )
+        assert (
+            ReadStore.from_reads(_mk(["ACGT", "GGCC"], ids=["x", "y"])).digest
+            != base
+        )
+        assert ReadStore.from_reads(_mk(["GGCC", "ACGT"])).digest != base
+
+
+def _attach_fresh(handle):
+    """Attach through the real shared-memory path (module-level so the
+    fork pool can pickle it by reference; the inherited attach cache is
+    cleared first, otherwise the fork child would reuse the parent's
+    in-process store object and test nothing)."""
+    from repro.seq import readstore
+
+    readstore._ATTACHED.clear()
+    store = ReadStore.attach(handle)
+    return store.n_reads, store.digest, store.seq(0), store.read_id(0)
+
+
+class TestSharedMemoryLifecycle:
+    def test_share_is_idempotent_and_zero_copy_semantics_hold(self):
+        store = ReadStore.from_reads(READS)
+        handle = store.share()
+        assert isinstance(handle, ReadStoreHandle)
+        assert store.share() == handle  # same segment, same handle
+        assert store.shared and store.owns_shm
+        assert store.records() == READS  # views rebound onto the segment
+        store.close()
+
+    def test_pickle_roundtrip_returns_live_store(self):
+        store = ReadStore.from_reads(READS)
+        clone = pickle.loads(pickle.dumps(store))
+        # in-process unpickle resolves through the attach cache
+        assert clone is store
+        store.close()
+
+    def test_pickled_size_is_o1_in_read_count(self, reads_single):
+        stores = [
+            ReadStore.from_reads(reads_single[:n]) for n in (50, 2000)
+        ]
+        sizes = [len(pickle.dumps(s)) for s in stores]
+        # O(1): a 40x read-count increase moves the pickle by at most a
+        # few varint bytes, and the whole thing stays handle-sized.
+        assert abs(sizes[1] - sizes[0]) <= 16 and max(sizes) < 512
+        for s in stores:
+            s.close()
+
+    def test_attach_across_processes(self):
+        store = ReadStore.from_reads(READS)
+        handle = store.share()
+        ctx = get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            n_reads, digest, seq0, id0 = pool.submit(
+                _attach_fresh, handle
+            ).result()
+        assert n_reads == store.n_reads
+        assert digest == store.digest
+        assert seq0 == READS[0].seq and id0 == READS[0].id
+        store.close()
+
+    def test_close_unlinks_owner_segment(self):
+        store = ReadStore.from_reads(READS)
+        name = store.share().shm_name
+        store.close()
+        assert store.closed
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_double_close_is_safe(self):
+        store = ReadStore.from_reads(READS)
+        store.share()
+        store.close()
+        store.close()  # must not raise
+        ReadStore.from_reads(READS).close()  # never-shared: no-op
+        with pytest.raises(ValueError):
+            _ = store.codes
+
+    def test_attacher_close_does_not_unlink(self):
+        owner = ReadStore.from_reads(READS)
+        handle = owner.share()
+        from repro.seq import readstore
+
+        readstore._ATTACHED.clear()  # force a real second attachment
+        attacher = ReadStore.attach(handle)
+        assert attacher is not owner and not attacher.owns_shm
+        assert attacher.records() == READS
+        attacher.close()
+        # the owner's segment must survive the attacher's close
+        assert owner.records() == READS
+        owner.close()
+
+    def test_gc_backstop_unlinks(self):
+        store = ReadStore.from_reads(READS)
+        name = store.share().shm_name
+        del store  # no explicit close: the finalizer must clean up
+        import gc
+
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_no_dangling_segments_after_executor_shutdown(self, reads_single):
+        """A fan-out through the process backend leaves /dev/shm clean."""
+        from repro.assembly.base import AssemblyParams
+        from repro.core.multikmer import make_assembly_workload
+        from repro.parallel.executor import ProcessExecutor
+
+        store = ReadStore.from_reads(reads_single[:120])
+        work = make_assembly_workload(
+            "velvet", store, AssemblyParams(k=31), n_ranks=1
+        )
+        ex = ProcessExecutor(max_workers=1)
+        outcome = ex.submit(work).outcome()
+        ex.shutdown()
+        assert outcome.ok
+        name = store.handle().shm_name
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
