@@ -2,13 +2,20 @@
 
 The observability layer promises to be (a) zero-cost when disabled — the
 default :class:`~repro.obs.NullTracer` turns every instrumentation point
-into a cheap attribute check — and (b) cheap enough when enabled that
-traced benchmark sessions stay representative.  This benchmark prices
-both promises on the same workload as ``test_kmer_engine.py``: Ray on
-the full P. crispa bench data at k=51 on 8 ranks.  Results are written
-to ``BENCH_obs_overhead.json`` at the repo root.
+into a cheap attribute check — (b) cheap enough when enabled that traced
+benchmark sessions stay representative, and (c) cheap enough *inside
+pool workers* that tracing a process-backend run (buffering, resource
+sampling, shipping the trace back, merging it) stays under the same
+budget.  The first two are priced on the same workload as
+``test_kmer_engine.py`` (Ray on the full P. crispa bench data at k=51 on
+8 ranks); the worker-side cost on a batch of instrumented workloads
+through a warm :class:`ProcessExecutor` pool.  Results are merged into
+``BENCH_obs_overhead.json`` at the repo root (``ambient`` and
+``worker_tracing`` keys).
 """
 
+import functools
+import gc
 import json
 import time
 from pathlib import Path
@@ -16,26 +23,77 @@ from pathlib import Path
 from repro.assembly.base import AssemblyParams
 from repro.assembly.ray import RayAssembler
 from repro.bench import harness
-from repro.obs import NullTracer, Tracer, use_tracer
+from repro.obs import (
+    NullTracer,
+    SpanContext,
+    Tracer,
+    get_tracer,
+    merge_worker_trace,
+    use_tracer,
+)
+from repro.parallel.executor import ProcessExecutor
+from repro.parallel.usage import ResourceUsage
 
 DATASET = "P_crispa"
 K = 51
 N_RANKS = 8
-REPEATS = 3
+REPEATS = 7
 #: Enabled tracing must stay under this fractional slowdown.
 MAX_TRACED_OVERHEAD = 0.05
 #: The no-op tracer must be indistinguishable from baseline (noise floor).
 MAX_NULL_OVERHEAD = 0.03
+#: Worker-side tracing (buffer + resource sampler + merge) budget.
+MAX_WORKER_OVERHEAD = 0.05
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 
+# Process-pool batch shape (downscaled under --smoke).
+POOL_WORKERS = 2
+WORKER_REPEATS = 10
+N_WORKLOADS = 8
+CHUNKS = 8
+CHUNK_ITERS = 120_000
+SMOKE_WORKLOADS = 4
+SMOKE_CHUNK_ITERS = 20_000
+RESOURCE_CADENCE = 0.01
 
-def _min_wall(fn, repeats=REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+
+def _interleaved_walls(fns, repeats=REPEATS) -> list[list[float]]:
+    """Per-round wall times for each mode, measured in rotating rounds.
+
+    Timing each mode in its own contiguous block lets slow drift
+    (thermal throttling, background load, monotonic heap growth) land
+    entirely on whichever mode ran last and masquerade as overhead.
+    Alternating spreads drift across modes, rotating the in-round order
+    keeps any fixed position advantage from sticking to one mode, and a
+    pre-run ``gc.collect()`` stops one mode's garbage from being
+    collected on another mode's clock.  Returns one wall-time list per
+    mode, index-aligned by round so callers can pair modes *within* a
+    round — round-level load shifts cancel in the per-round ratio."""
+    walls = [[0.0] * repeats for _ in fns]
+    for r in range(repeats):
+        for i in range(len(fns)):
+            j = (i + r) % len(fns)
+            gc.collect()
+            t0 = time.perf_counter()
+            fns[j]()
+            walls[j][r] = time.perf_counter() - t0
+    return walls
+
+
+def _best_ratio(mode_walls, base_walls) -> float:
+    """Best per-round mode/baseline wall ratio (least one-sided noise)."""
+    return min(m / b for m, b in zip(mode_walls, base_walls))
+
+
+def _update_result(key: str, record: dict) -> None:
+    """Merge one benchmark's record into the shared BENCH json."""
+    doc = {}
+    if RESULT_PATH.exists():
+        doc = json.loads(RESULT_PATH.read_text())
+        if "ambient" not in doc and "worker_tracing" not in doc:
+            doc = {}  # pre-split flat layout: start over
+    doc[key] = record
+    RESULT_PATH.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def test_tracing_overhead(report_sink):
@@ -47,20 +105,34 @@ def test_tracing_overhead(report_sink):
 
     workload()  # warm caches outside the timed runs
 
-    t_baseline = _min_wall(workload)  # default: module-level NullTracer
-
-    with use_tracer(NullTracer()):
-        t_null = _min_wall(workload)
-
     tracer = Tracer()
-    with use_tracer(tracer):
-        t_traced = _min_wall(workload)
+
+    def baseline():  # default: module-level NullTracer
+        workload()
+
+    def null_run():
+        with use_tracer(NullTracer()):
+            workload()
+
+    def traced_run():
+        with use_tracer(tracer):
+            workload()
+
+    w_baseline, w_null, w_traced = _interleaved_walls(
+        [baseline, null_run, traced_run]
+    )
+    t_baseline, t_null, t_traced = (
+        min(w_baseline), min(w_null), min(w_traced)
+    )
 
     # the traced runs actually recorded something
     assert tracer.events, "traced workload emitted no events"
 
-    null_overhead = t_null / t_baseline - 1.0
-    traced_overhead = t_traced / t_baseline - 1.0
+    # Gate on the best *paired* per-round ratio, not min-of-mins: one
+    # lucky baseline round (pristine heap, quiet box) would otherwise
+    # inflate every mode's apparent overhead.
+    null_overhead = _best_ratio(w_null, w_baseline) - 1.0
+    traced_overhead = _best_ratio(w_traced, w_baseline) - 1.0
 
     record = {
         "workload": {
@@ -80,7 +152,7 @@ def test_tracing_overhead(report_sink):
         "max_traced_overhead": MAX_TRACED_OVERHEAD,
         "max_null_overhead": MAX_NULL_OVERHEAD,
     }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _update_result("ambient", record)
 
     report_sink.append(
         f"tracing overhead ({DATASET}, ray k={K}, {N_RANKS} ranks): "
@@ -90,3 +162,121 @@ def test_tracing_overhead(report_sink):
     )
     assert null_overhead < MAX_NULL_OVERHEAD
     assert traced_overhead < MAX_TRACED_OVERHEAD
+
+
+def _pool_work(chunks: int, iters: int):
+    """A CPU-bound workload with realistic instrumentation density: one
+    span + one counter + one histogram observation per chunk, all routed
+    through :func:`get_tracer` so a worker-side BufferingTracer (when a
+    SpanContext rides along) or the free NullTracer (when none does)
+    picks them up."""
+    tracer = get_tracer()
+    total = 0
+    for c in range(chunks):
+        with tracer.span("chunk", category="worker", chunk=c):
+            total += sum(i * i for i in range(iters))
+            tracer.count("bench_chunks")
+            tracer.observe("chunk_checksum", float(total % 997))
+    return total, ResourceUsage()
+
+
+def _run_batch(executor, work, contexts):
+    handles = [executor.submit(work, ctx) for ctx in contexts]
+    outcomes = [h.outcome() for h in handles]
+    assert all(o.error is None for o in outcomes)
+    return outcomes
+
+
+def test_worker_tracing_overhead(report_sink, smoke):
+    n_workloads = SMOKE_WORKLOADS if smoke else N_WORKLOADS
+    iters = SMOKE_CHUNK_ITERS if smoke else CHUNK_ITERS
+    work = functools.partial(_pool_work, CHUNKS, iters)
+    parent = Tracer()
+
+    with ProcessExecutor(max_workers=POOL_WORKERS) as executor:
+        # Warm the fork pool so neither mode pays its creation cost.
+        _run_batch(
+            executor,
+            functools.partial(_pool_work, 1, 100),
+            [None] * POOL_WORKERS,
+        )
+
+        def untraced():
+            _run_batch(executor, work, [None] * n_workloads)
+
+        def traced():
+            # End-to-end cost of the feature: capture a context per
+            # submit, buffer + resource-sample in the worker, ship the
+            # trace back and merge it into the parent.
+            contexts = [
+                SpanContext.capture(
+                    parent,
+                    thread=f"w{i}",
+                    resource_cadence=RESOURCE_CADENCE,
+                )
+                for i in range(n_workloads)
+            ]
+            outcomes = _run_batch(executor, work, contexts)
+            for outcome, context in zip(outcomes, contexts):
+                merge_worker_trace(parent, outcome.worker_trace, context)
+
+        # Gate on the best per-round traced/untraced ratio: pairing the
+        # two modes inside one round cancels round-level load (the box
+        # may be 10% slower for a whole round — both modes see it), and
+        # the *minimum* ratio is the round least polluted by one-sided
+        # scheduling noise.  Alternate the in-round order so neither
+        # mode owns the "first after a gap" slot.
+        walls = {"untraced": [], "traced": []}
+        for r in range(WORKER_REPEATS):
+            order = (
+                (untraced, "untraced"), (traced, "traced")
+            ) if r % 2 == 0 else (
+                (traced, "traced"), (untraced, "untraced")
+            )
+            for fn, label in order:
+                gc.collect()
+                t0 = time.perf_counter()
+                fn()
+                walls[label].append(time.perf_counter() - t0)
+        ratios = [
+            t / u for t, u in zip(walls["traced"], walls["untraced"])
+        ]
+        t_untraced = min(walls["untraced"])
+        t_traced = min(walls["traced"])
+
+    # the traced batches really exercised the worker-side path
+    assert any(s.process.startswith("worker-") for s in parent.spans)
+    assert parent.metrics.counters["bench_chunks"].value > 0
+
+    ordered = sorted(ratios)
+    overhead = ordered[0] - 1.0  # best round: least one-sided noise
+    median_overhead = ordered[len(ordered) // 2] - 1.0
+    record = {
+        "workload": {
+            "pool_workers": POOL_WORKERS,
+            "n_workloads": n_workloads,
+            "chunks": CHUNKS,
+            "chunk_iters": iters,
+            "resource_cadence_s": RESOURCE_CADENCE,
+            "repeats": WORKER_REPEATS,
+        },
+        "untraced_wall_s": round(t_untraced, 4),
+        "traced_wall_s": round(t_traced, 4),
+        "worker_overhead_frac": round(overhead, 4),
+        "median_round_overhead_frac": round(median_overhead, 4),
+        "per_round_ratios": [round(r, 4) for r in ratios],
+        "worker_spans_merged": sum(
+            1 for s in parent.spans if s.process.startswith("worker-")
+        ),
+        "max_worker_overhead": MAX_WORKER_OVERHEAD,
+    }
+    if not smoke:
+        _update_result("worker_tracing", record)
+
+    report_sink.append(
+        f"worker tracing overhead (process pool x{POOL_WORKERS}, "
+        f"{n_workloads} workloads x {CHUNKS} chunks): "
+        f"untraced {t_untraced:.3f}s, traced {t_traced:.3f}s "
+        f"(best-round {overhead:+.1%}, median {median_overhead:+.1%})"
+    )
+    assert overhead < (1.0 if smoke else MAX_WORKER_OVERHEAD)

@@ -68,6 +68,11 @@ class PipelineConfig:
     #: (bit-identical hits; see repro.core.assembly_cache).  Off only for
     #: benchmarking the uncached path.
     assembly_cache: bool = True
+    #: Seconds between RSS/CPU samples taken *inside* fan-out workloads
+    #: running on a pool backend (shipped back in the worker trace and
+    #: exported as Perfetto counter tracks).  0 keeps only the
+    #: span-endpoint snapshots; ignored when tracing is off.
+    resource_cadence: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.assemblers:
@@ -322,6 +327,7 @@ class RnnotatorPipeline:
             scheduler=MemoryAwareScheduler(),
             cost_model=self.cost_model,
             executor=make_executor(config.executor, config.executor_workers),
+            resource_cadence=config.resource_cadence,
         )
         umb.add_pilot(pb)
         # Encode the pre-processed reads exactly once; every fan-out unit

@@ -25,6 +25,13 @@ Quickstart::
     # then: python -m repro.obs.report run.trace.jsonl
 """
 
+from repro.obs.context import (
+    BufferingTracer,
+    SpanContext,
+    WorkerTrace,
+    merge_worker_trace,
+    worker_track,
+)
 from repro.obs.export import (
     chrome_trace,
     load_jsonl,
@@ -34,33 +41,48 @@ from repro.obs.export import (
 )
 from repro.obs.logsetup import VirtualClockFormatter, logging_setup
 from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.resources import (
+    CadenceSampler,
+    ResourceSample,
+    ResourceSampler,
+)
 from repro.obs.tracer import (
     EventRecord,
     NullTracer,
     SpanRecord,
     Tracer,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
     use_tracer,
 )
 
 __all__ = [
+    "BufferingTracer",
+    "CadenceSampler",
     "Counter",
     "EventRecord",
     "Gauge",
     "Histogram",
     "Metrics",
     "NullTracer",
+    "ResourceSample",
+    "ResourceSampler",
+    "SpanContext",
     "SpanRecord",
     "Tracer",
     "VirtualClockFormatter",
+    "WorkerTrace",
     "chrome_trace",
     "get_tracer",
     "load_jsonl",
     "logging_setup",
+    "merge_worker_trace",
+    "set_thread_tracer",
     "set_tracer",
     "text_summary",
     "use_tracer",
+    "worker_track",
     "write_chrome",
     "write_jsonl",
 ]

@@ -1,0 +1,354 @@
+"""Trace diffing: make a BENCH regression a diffable artifact.
+
+``python -m repro.obs.diff base.jsonl other.jsonl`` compares two JSONL
+traces written by :func:`repro.obs.write_jsonl`:
+
+* **per-stage deltas** — virtual TTC and real host seconds of every
+  ``category="stage"`` span, side by side with absolute and relative
+  drift (virtual times are deterministic for an identical-seed run, so
+  any virtual drift is a real behaviour change; real times are hardware
+  noise unless you ask to gate them);
+* **span structure** — span/event names that appear in only one trace
+  (an instrumentation point added or lost), plus count changes;
+* **metric drift** — counters and gauges by relative drift, histograms
+  by count and mean (report-only: their values are real-time shaped).
+
+Exit status: 0 when every gated quantity is within its threshold, 1
+otherwise — which is what lets CI diff a fresh trace against a committed
+baseline.  Gates: virtual drift is gated by ``--v-rel`` (default 0:
+identical-seed traces must agree exactly), structural changes are always
+gated (disable with ``--ignore-structure``), real time by ``--r-rel``
+and counter/gauge drift by ``--metric-rel`` only when passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.export import load_jsonl
+
+#: Floor for relative-drift denominators.
+_EPS = 1e-12
+
+
+def _rel(a: float, b: float) -> float:
+    """Relative drift of ``b`` vs ``a`` (0 when both are 0)."""
+    if a == b:
+        return 0.0
+    return abs(b - a) / max(abs(a), abs(b), _EPS)
+
+
+def _spans(records: Iterable[dict]) -> list[dict]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _v_dur(span: dict) -> float:
+    if span["v0"] is None or span["v1"] is None:
+        return 0.0
+    return span["v1"] - span["v0"]
+
+
+def _stage_times(records: Iterable[dict]) -> dict[str, tuple[float, float]]:
+    """stage name -> (virtual TTC, real seconds)."""
+    out: dict[str, tuple[float, float]] = {}
+    for s in _spans(records):
+        if s["cat"] == "stage":
+            name = s["attrs"].get("stage", s["name"])
+            out[name] = (_v_dur(s), s["r1"] - s["r0"])
+    return out
+
+
+def _name_counts(records: Iterable[dict]) -> dict[tuple[str, str, str], int]:
+    """(type, category, name) -> occurrence count."""
+    out: dict[tuple[str, str, str], int] = {}
+    for r in records:
+        kind = r.get("type")
+        if kind not in ("span", "event"):
+            continue
+        key = (kind, r.get("cat", ""), r["name"])
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def _metrics_of(records: Iterable[dict]) -> dict:
+    return next(
+        (r["data"] for r in records if r.get("type") == "metrics"),
+        {"counters": {}, "gauges": {}, "histograms": {}},
+    )
+
+
+@dataclass
+class StageDelta:
+    stage: str
+    v_base: float
+    v_other: float
+    r_base: float
+    r_other: float
+
+    @property
+    def v_rel(self) -> float:
+        return _rel(self.v_base, self.v_other)
+
+    @property
+    def r_rel(self) -> float:
+        return _rel(self.r_base, self.r_other)
+
+
+@dataclass
+class MetricDelta:
+    kind: str  # "counter" | "gauge"
+    name: str
+    base: float | None
+    other: float | None
+
+    @property
+    def rel(self) -> float:
+        if self.base is None or self.other is None:
+            return float("inf")  # appeared or vanished entirely
+        return _rel(self.base, self.other)
+
+
+@dataclass
+class TraceDiff:
+    """Everything the comparison found, before any gating."""
+
+    stages: list[StageDelta] = field(default_factory=list)
+    total_v_base: float = 0.0
+    total_v_other: float = 0.0
+    new_names: list[tuple[str, str, str]] = field(default_factory=list)
+    missing_names: list[tuple[str, str, str]] = field(default_factory=list)
+    count_changes: list[tuple[tuple[str, str, str], int, int]] = field(
+        default_factory=list
+    )
+    metric_deltas: list[MetricDelta] = field(default_factory=list)
+    histogram_notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_v_rel(self) -> float:
+        return _rel(self.total_v_base, self.total_v_other)
+
+    @property
+    def max_stage_v_rel(self) -> float:
+        return max((d.v_rel for d in self.stages), default=0.0)
+
+    # -- gating --------------------------------------------------------------
+
+    def violations(
+        self,
+        v_rel: float = 0.0,
+        r_rel: float | None = None,
+        metric_rel: float | None = None,
+        structure: bool = True,
+    ) -> list[str]:
+        """Human-readable reasons this diff fails its thresholds."""
+        out = []
+        for d in self.stages:
+            if d.v_rel > v_rel:
+                out.append(
+                    f"stage {d.stage!r}: virtual drift {d.v_rel:.2%} "
+                    f"({d.v_base:g} s -> {d.v_other:g} s) > {v_rel:.2%}"
+                )
+            if r_rel is not None and d.r_rel > r_rel:
+                out.append(
+                    f"stage {d.stage!r}: real drift {d.r_rel:.2%} "
+                    f"({d.r_base:.3f} s -> {d.r_other:.3f} s) > {r_rel:.2%}"
+                )
+        if self.total_v_rel > v_rel:
+            out.append(
+                f"total virtual time drift {self.total_v_rel:.2%} "
+                f"({self.total_v_base:g} s -> {self.total_v_other:g} s) "
+                f"> {v_rel:.2%}"
+            )
+        if structure:
+            for key in self.new_names:
+                out.append(f"new {key[0]} {key[2]!r} (cat {key[1]!r})")
+            for key in self.missing_names:
+                out.append(f"missing {key[0]} {key[2]!r} (cat {key[1]!r})")
+        if metric_rel is not None:
+            for m in self.metric_deltas:
+                if m.rel > metric_rel:
+                    out.append(
+                        f"{m.kind} {m.name!r}: drift "
+                        f"{m.base} -> {m.other} > {metric_rel:.2%}"
+                    )
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def format(self, top: int = 10) -> str:
+        lines = ["trace diff (base -> other):"]
+        lines.append(
+            f"  total virtual {self.total_v_base:g} s -> "
+            f"{self.total_v_other:g} s ({self.total_v_rel:+.2%} drift)"
+        )
+        if self.stages:
+            lines.append("  per-stage deltas:")
+            lines.append(
+                f"    {'stage':24s} {'virtual base':>12s} {'other':>10s} "
+                f"{'drift':>8s} {'real base':>10s} {'other':>8s}"
+            )
+            for d in self.stages:
+                lines.append(
+                    f"    {d.stage:24s} {d.v_base:12.1f} {d.v_other:10.1f} "
+                    f"{d.v_rel:8.2%} {d.r_base:10.3f} {d.r_other:8.3f}"
+                )
+        if self.new_names:
+            lines.append("  new records (in other only):")
+            for kind, cat, name in self.new_names:
+                lines.append(f"    + {kind} {name} [{cat or 'default'}]")
+        if self.missing_names:
+            lines.append("  missing records (in base only):")
+            for kind, cat, name in self.missing_names:
+                lines.append(f"    - {kind} {name} [{cat or 'default'}]")
+        if self.count_changes:
+            lines.append("  record-count changes:")
+            for (kind, cat, name), a, b in self.count_changes[:top]:
+                lines.append(
+                    f"    {kind} {name} [{cat or 'default'}]: {a} -> {b}"
+                )
+            hidden = len(self.count_changes) - top
+            if hidden > 0:
+                lines.append(f"    ... and {hidden} more")
+        drifted = sorted(
+            (m for m in self.metric_deltas if m.rel > 0),
+            key=lambda m: m.rel,
+            reverse=True,
+        )
+        if drifted:
+            lines.append(f"  metric drift (top {top}):")
+            for m in drifted[:top]:
+                lines.append(
+                    f"    {m.kind:7s} {m.name:32s} {m.base} -> {m.other}"
+                )
+        if self.histogram_notes:
+            lines.append("  histograms (report-only):")
+            lines.extend(f"    {note}" for note in self.histogram_notes[:top])
+        if not (
+            self.stages
+            or self.new_names
+            or self.missing_names
+            or self.count_changes
+            or drifted
+        ):
+            lines.append("  (no differences found)")
+        return "\n".join(lines)
+
+
+def diff_traces(
+    base: Iterable[dict], other: Iterable[dict]
+) -> TraceDiff:
+    """Compare two record streams (as loaded by :func:`load_jsonl`)."""
+    base = list(base)
+    other = list(other)
+    diff = TraceDiff()
+
+    stages_a = _stage_times(base)
+    stages_b = _stage_times(other)
+    for stage in list(stages_a) + [s for s in stages_b if s not in stages_a]:
+        va, ra = stages_a.get(stage, (0.0, 0.0))
+        vb, rb = stages_b.get(stage, (0.0, 0.0))
+        diff.stages.append(StageDelta(stage, va, vb, ra, rb))
+    diff.total_v_base = sum(v for v, _ in stages_a.values())
+    diff.total_v_other = sum(v for v, _ in stages_b.values())
+
+    counts_a = _name_counts(base)
+    counts_b = _name_counts(other)
+    diff.new_names = sorted(set(counts_b) - set(counts_a))
+    diff.missing_names = sorted(set(counts_a) - set(counts_b))
+    diff.count_changes = sorted(
+        (key, counts_a[key], counts_b[key])
+        for key in set(counts_a) & set(counts_b)
+        if counts_a[key] != counts_b[key]
+    )
+
+    metrics_a = _metrics_of(base)
+    metrics_b = _metrics_of(other)
+    for kind in ("counters", "gauges"):
+        names = sorted(set(metrics_a[kind]) | set(metrics_b[kind]))
+        for name in names:
+            a = metrics_a[kind].get(name)
+            b = metrics_b[kind].get(name)
+            if a == b:
+                continue
+            diff.metric_deltas.append(
+                MetricDelta(kind.rstrip("s"), name, a, b)
+            )
+    hists = sorted(
+        set(metrics_a["histograms"]) | set(metrics_b["histograms"])
+    )
+    for name in hists:
+        ha = metrics_a["histograms"].get(name)
+        hb = metrics_b["histograms"].get(name)
+        if ha is None or hb is None:
+            diff.histogram_notes.append(
+                f"{name}: present only in {'other' if ha is None else 'base'}"
+            )
+        elif ha["count"] != hb["count"] or ha["mean"] != hb["mean"]:
+            diff.histogram_notes.append(
+                f"{name}: n {ha['count']} -> {hb['count']}, "
+                f"mean {ha['mean']:.4g} -> {hb['mean']:.4g}"
+            )
+    return diff
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description="Diff two repro JSONL trace files "
+        "(exit 1 when gated drift exceeds its threshold).",
+    )
+    parser.add_argument("base", help="baseline trace (JSONL)")
+    parser.add_argument("other", help="trace to compare against the baseline")
+    parser.add_argument(
+        "--v-rel",
+        type=float,
+        default=0.0,
+        help="max relative virtual-time drift per stage and in total "
+        "(default 0: identical-seed traces must agree exactly)",
+    )
+    parser.add_argument(
+        "--r-rel",
+        type=float,
+        default=None,
+        help="gate real-time drift per stage at this relative threshold "
+        "(default: report only — real time is hardware noise)",
+    )
+    parser.add_argument(
+        "--metric-rel",
+        type=float,
+        default=None,
+        help="gate counter/gauge drift at this relative threshold "
+        "(default: report only)",
+    )
+    parser.add_argument(
+        "--ignore-structure",
+        action="store_true",
+        help="do not fail on span/event names present in only one trace",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows per report section"
+    )
+    args = parser.parse_args(argv)
+
+    diff = diff_traces(load_jsonl(args.base), load_jsonl(args.other))
+    print(diff.format(top=args.top))
+    violations = diff.violations(
+        v_rel=args.v_rel,
+        r_rel=args.r_rel,
+        metric_rel=args.metric_rel,
+        structure=not args.ignore_structure,
+    )
+    if violations:
+        print(f"\nFAIL: {len(violations)} violation(s):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("\nOK: within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,6 +137,30 @@ def chrome_trace(
                     ),
                 }
             )
+        elif kind == "event" and record["cat"] == "resource":
+            # Resource samples render as Perfetto counter tracks: one
+            # "C" event per sampled quantity, charted per process row.
+            t = _event_time(record, clock)
+            if t is None:
+                continue
+            pid, _ = track(record["process"], record["thread"])
+            attrs = record["attrs"]
+            for counter, key, scale in (
+                ("rss_mb", "rss_bytes", 1e-6),
+                ("cpu_s", "cpu_seconds", 1.0),
+            ):
+                if key in attrs:
+                    trace_events.append(
+                        {
+                            "name": counter,
+                            "cat": "resource",
+                            "ph": "C",
+                            "pid": pid,
+                            "tid": 0,
+                            "ts": t * _US,
+                            "args": {"value": attrs[key] * scale},
+                        }
+                    )
         elif kind == "event":
             t = _event_time(record, clock)
             if t is None:

@@ -5,11 +5,20 @@ spans and events; they answer the "how many / how much" questions (units
 restarted, dollars billed, workload wall-seconds) that a raw event
 stream makes awkward.  Everything is plain in-memory state — the
 exporters snapshot it into the trace file.
+
+Registries also know how to **merge**: a worker-side tracer starts from
+a fresh registry, so everything it accumulates is a delta, and
+:meth:`Metrics.merge` folds those deltas into the parent — counters add,
+histograms concatenate observations, and gauges keep whichever value was
+set latest on the real clock (each :meth:`Gauge.set` stamps
+``perf_counter``; cross-process merges shift worker stamps into the
+parent clock domain first).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 
@@ -25,16 +34,39 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold in another counter's total (a delta from a fresh registry)."""
+        self.inc(other.value)
+
 
 @dataclass
 class Gauge:
-    """A point-in-time value (VMs running, free slots)."""
+    """A point-in-time value (VMs running, free slots).
+
+    ``updated_r`` is the real (``perf_counter``) timestamp of the last
+    ``set``; merges use it to keep the *most recent* observation rather
+    than whichever side merged last.
+    """
 
     name: str
     value: float | None = None
+    updated_r: float | None = None
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, r_time: float | None = None) -> None:
         self.value = value
+        self.updated_r = time.perf_counter() if r_time is None else r_time
+
+    def merge(self, other: "Gauge") -> None:
+        """Keep the value set latest on the real clock (never-set loses;
+        on an exact tie the incoming value wins, matching "other is the
+        newer registry" in the merge direction convention)."""
+        if other.value is None:
+            return
+        if self.value is None or (other.updated_r or 0.0) >= (
+            self.updated_r or 0.0
+        ):
+            self.value = other.value
+            self.updated_r = other.updated_r
 
 
 @dataclass
@@ -77,6 +109,10 @@ class Histogram:
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    def merge(self, other: "Histogram") -> None:
+        """Concatenate another histogram's observations."""
+        self.values.extend(other.values)
+
 
 @dataclass
 class Metrics:
@@ -100,6 +136,16 @@ class Metrics:
         if name not in self.histograms:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's deltas into this one (see module
+        docstring for the per-kind semantics)."""
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
 
     def snapshot(self) -> dict:
         """JSON-ready view of every metric (written into trace files)."""

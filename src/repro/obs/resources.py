@@ -1,0 +1,121 @@
+"""Host resource telemetry: RSS and CPU snapshots, without new deps.
+
+The STAR-aligner cloud studies pick instance types off per-task resource
+profiles; this module supplies the raw samples.  Two sources, both in
+the standard library / procfs:
+
+* ``/proc/self/status`` ``VmRSS`` — the process's *current* resident set
+  (Linux only; falls back to ``ru_maxrss``, the high-water mark, where
+  procfs is unavailable);
+* ``resource.getrusage(RUSAGE_SELF)`` — cumulative user+system CPU
+  seconds and the RSS high-water mark.
+
+A :class:`ResourceSampler` snapshots both on demand (the worker-side
+tracer samples at span open/close), and a :class:`CadenceSampler` runs a
+daemon thread that invokes a callback every ``interval`` seconds inside
+long workloads.  Samples are plain picklable dataclasses so they cross
+the process boundary inside a worker trace.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+try:
+    import resource as _resource
+except ImportError:  # non-POSIX platform
+    _resource = None
+
+_PROC_STATUS = Path("/proc/self/status")
+
+#: ru_maxrss unit: kilobytes on Linux, bytes on macOS.
+_MAXRSS_UNIT = 1 if sys.platform == "darwin" else 1024
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One resource snapshot on the sampling process's real clock."""
+
+    r_time: float  # perf_counter seconds (sampler-process domain)
+    rss_bytes: int  # current RSS (or high-water mark as a fallback)
+    cpu_seconds: float  # cumulative user + system CPU
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (0 when unreadable)."""
+    try:
+        with _PROC_STATUS.open() as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    if _resource is not None:
+        return _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * _MAXRSS_UNIT
+    return 0
+
+
+def read_cpu_seconds() -> float:
+    """Cumulative user + system CPU seconds of this process."""
+    if _resource is None:
+        return 0.0
+    ru = _resource.getrusage(_resource.RUSAGE_SELF)
+    return ru.ru_utime + ru.ru_stime
+
+
+class ResourceSampler:
+    """Snapshots RSS/CPU on demand."""
+
+    def sample(self) -> ResourceSample:
+        return ResourceSample(
+            r_time=time.perf_counter(),
+            rss_bytes=read_rss_bytes(),
+            cpu_seconds=read_cpu_seconds(),
+        )
+
+
+class CadenceSampler:
+    """Calls ``callback(sample)`` every ``interval`` seconds until stopped.
+
+    Runs on a daemon thread so a crashing workload can never be kept
+    alive by its own telemetry; :meth:`stop` is idempotent and joins the
+    thread.  The thread only reads clocks and procfs — it never touches
+    the workload's state, so sampling cannot perturb results.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        callback: Callable[[ResourceSample], None],
+        sampler: ResourceSampler | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("cadence interval must be > 0")
+        self.interval = interval
+        self.callback = callback
+        self.sampler = sampler or ResourceSampler()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.callback(self.sampler.sample())
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

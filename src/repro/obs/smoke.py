@@ -1,0 +1,77 @@
+"""Traced smoke pipeline: one small end-to-end run, one JSONL trace.
+
+``python -m repro.obs.smoke --out trace.jsonl`` runs the tiny quickstart
+dataset through the full pilot pipeline on a chosen executor backend
+(process by default — the backend whose workloads run out-of-process and
+therefore exercise span-context propagation, clock alignment and worker
+metric merging) and writes the merged trace.  CI runs this, uploads the
+trace as an artifact, and diffs it against the committed baseline with
+``python -m repro.obs.diff``; regenerate the baseline with::
+
+    PYTHONPATH=src python -m repro.obs.smoke --out tests/data/ci_baseline_trace.jsonl
+
+The assembly cache is disabled so the trace is identical whether or not
+the process already ran a pipeline, and the seed is fixed so every
+virtual quantity is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.obs import Tracer
+from repro.obs.export import write_jsonl
+from repro.seq.datasets import tiny_dataset
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.smoke",
+        description="Run a traced smoke pipeline and write its JSONL trace.",
+    )
+    parser.add_argument("--out", required=True, help="trace output path")
+    parser.add_argument(
+        "--executor",
+        default="process",
+        choices=("serial", "thread", "process"),
+        help="workload-execution backend (default: process)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool size for pool backends"
+    )
+    parser.add_argument(
+        "--resource-cadence",
+        type=float,
+        default=0.01,
+        help="seconds between in-workload RSS/CPU samples (0 = endpoints)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="dataset seed")
+    args = parser.parse_args(argv)
+
+    tracer = Tracer()
+    result = RnnotatorPipeline(tracer=tracer).run(
+        tiny_dataset(seed=args.seed),
+        PipelineConfig(
+            kmer_list=(35, 41),
+            executor=args.executor,
+            executor_workers=args.workers,
+            assembly_cache=False,
+            resource_cadence=args.resource_cadence,
+        ),
+    )
+    path = write_jsonl(tracer, args.out)
+    worker_spans = sum(
+        1 for s in tracer.spans if s.process.startswith("worker-")
+    )
+    print(
+        f"traced smoke ok: TTC {result.total_ttc:.0f} s, "
+        f"{len(tracer.spans)} spans ({worker_spans} from workers), "
+        f"{len(tracer.events)} events -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,20 @@ touches the virtual clock at all: tracing on or off, every virtual
 quantity in the system is bit-identical (enforced by
 ``tests/core/test_trace_parity.py``).
 
-Instrumentation inside workloads only reaches the tracer under the
-serial executor backend: thread/process executor backends run workloads
-off the main thread (or in another process), where spans land on a
-separate stack (threads) or are lost with the worker (processes).  The
-pilot-layer seams — state transitions, SGE jobs, stage boundaries — are
-always recorded on the main thread regardless of backend.
+Instrumentation inside workloads is visible under **every** executor
+backend.  The serial backend records inline into the ambient tracer; the
+thread and process backends propagate a picklable
+:class:`~repro.obs.context.SpanContext` with each workload, the worker
+records into a thread-locally installed
+:class:`~repro.obs.context.BufferingTracer` (installed via
+:func:`set_thread_tracer`, which :func:`get_tracer` consults before the
+process-wide tracer), and the collect path merges the shipped records
+back: re-parented under the dispatching span, real timestamps aligned
+into the parent's ``perf_counter`` domain via a wall-clock handshake,
+one ``worker-<pid>`` track per worker process, metric deltas folded into
+the parent registry.  The pilot-layer seams — state transitions, SGE
+jobs, stage boundaries — are always recorded on the main thread
+regardless of backend.
 """
 
 from __future__ import annotations
@@ -352,11 +360,27 @@ class NullTracer(Tracer):
 
 _DEFAULT = NullTracer()
 _current: Tracer = _DEFAULT
+_thread_local = threading.local()
 
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer (a no-op :class:`NullTracer` by default)."""
-    return _current
+    """The active tracer: a thread-local override when one is installed
+    (executor workers buffering for a remote parent), else the
+    process-wide tracer (a no-op :class:`NullTracer` by default)."""
+    override = getattr(_thread_local, "tracer", None)
+    return override if override is not None else _current
+
+
+def set_thread_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` for the *current thread only* (``None`` removes
+    the override); returns the previous override.  This is how
+    ``run_workload`` scopes a worker-side buffering tracer to one
+    workload without touching the process-wide tracer other threads —
+    including, under the thread backend, the main thread — record into.
+    """
+    previous = getattr(_thread_local, "tracer", None)
+    _thread_local.tracer = tracer
+    return previous
 
 
 def set_tracer(tracer: Tracer | None) -> Tracer:

@@ -24,6 +24,16 @@ Three backends:
 All backends report the workload's *real* wall-clock seconds in the
 outcome, so the host-side speedup is observable alongside the — by
 construction backend-independent — virtual TTCs.
+
+Tracing crosses the executor boundary via span-context propagation:
+``submit`` accepts an optional picklable
+:class:`~repro.obs.context.SpanContext`.  The serial backend ignores it
+(inline execution records straight into the ambient tracer); the pool
+backends ship it with the workload, ``run_workload`` installs a
+thread-local :class:`~repro.obs.context.BufferingTracer` around the
+workload body, and the buffered spans/events/metric deltas — plus
+RSS/CPU resource samples — come back in
+:attr:`WorkloadOutcome.worker_trace` for the collect path to merge.
 """
 
 from __future__ import annotations
@@ -36,7 +46,8 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.obs import get_tracer
+from repro.obs import get_tracer, set_thread_tracer
+from repro.obs.context import BufferingTracer, SpanContext, WorkerTrace
 from repro.parallel.usage import ResourceUsage
 
 #: A unit workload: a callable returning (result, measured usage).
@@ -55,27 +66,64 @@ class WorkloadOutcome:
 
     ``wall_seconds`` is real host time spent inside the workload — not
     virtual time; the cost model still prices virtual duration from the
-    usage record.
+    usage record.  ``worker_trace`` carries the workload's buffered
+    spans/events/metrics when a span context was propagated (pool
+    backends with tracing enabled); ``None`` otherwise.
     """
 
     result: Any = None
     usage: ResourceUsage | None = None
     wall_seconds: float = 0.0
     error: BaseException | None = None
+    worker_trace: WorkerTrace | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def run_workload(work: Workload) -> tuple[Any, ResourceUsage, float]:
+def _init_worker() -> None:
+    """Process-pool worker initializer.
+
+    Forked workers inherit the parent's entire heap; moving it to the
+    permanent generation (``gc.freeze``) keeps worker-side garbage
+    collections from rescanning millions of inherited objects (and from
+    dirtying their copy-on-write pages) on every gen-2 pass.  Workers
+    are workload runners, not long-lived accumulators — nothing they
+    inherit ever becomes garbage they need to reclaim.
+    """
+    import gc
+
+    gc.freeze()
+
+
+def run_workload(
+    work: Workload, context: SpanContext | None = None
+) -> tuple[Any, ResourceUsage, float, WorkerTrace | None]:
     """Execute ``work`` and time it.
 
-    Module-level so the process backend can ship it to a worker.
+    Module-level so the process backend can ship it to a worker.  With a
+    ``context``, the workload runs under a thread-locally installed
+    :class:`BufferingTracer` — in-workload instrumentation lands in its
+    buffers instead of vanishing with the worker — and the buffered
+    trace is the fourth element of the returned tuple.
     """
-    t0 = time.perf_counter()
-    result, usage = work()
-    return result, usage, time.perf_counter() - t0
+    if context is None:
+        t0 = time.perf_counter()
+        result, usage = work()
+        return result, usage, time.perf_counter() - t0, None
+    buffer = BufferingTracer(cadence=context.resource_cadence)
+    previous = set_thread_tracer(buffer)
+    try:
+        buffer.count("worker_workloads")
+        with buffer.span("workload", category="worker", pid=buffer.pid):
+            t0 = time.perf_counter()
+            result, usage = work()
+            wall = time.perf_counter() - t0
+    finally:
+        set_thread_tracer(previous)
+        buffer.close()
+    return result, usage, wall, buffer.to_worker_trace()
 
 
 class WorkloadHandle(ABC):
@@ -105,10 +153,15 @@ class _FutureHandle(WorkloadHandle):
 
     def outcome(self) -> WorkloadOutcome:
         try:
-            result, usage, wall = self._future.result()
+            result, usage, wall, worker_trace = self._future.result()
         except Exception as exc:
             return WorkloadOutcome(error=exc)
-        return WorkloadOutcome(result=result, usage=usage, wall_seconds=wall)
+        return WorkloadOutcome(
+            result=result,
+            usage=usage,
+            wall_seconds=wall,
+            worker_trace=worker_trace,
+        )
 
 
 class WorkloadExecutor(ABC):
@@ -118,8 +171,13 @@ class WorkloadExecutor(ABC):
     name: str = "?"
 
     @abstractmethod
-    def submit(self, work: Workload) -> WorkloadHandle:
-        """Dispatch ``work``; never raises for workload errors."""
+    def submit(
+        self, work: Workload, context: SpanContext | None = None
+    ) -> WorkloadHandle:
+        """Dispatch ``work``; never raises for workload errors.
+
+        ``context`` requests worker-side tracing (see module docstring);
+        backends that execute inline may ignore it."""
 
     def shutdown(self) -> None:
         """Release pool resources (idempotent; no-op for serial)."""
@@ -140,12 +198,16 @@ class SerialExecutor(WorkloadExecutor):
         # max_workers accepted (and ignored) for factory uniformity.
         self.max_workers = 1
 
-    def submit(self, work: Workload) -> WorkloadHandle:
+    def submit(
+        self, work: Workload, context: SpanContext | None = None
+    ) -> WorkloadHandle:
+        # context is ignored deliberately: inline execution records
+        # straight into the ambient tracer, already on the right stack.
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event("executor.dispatch", category="executor", backend=self.name)
         try:
-            result, usage, wall = run_workload(work)
+            result, usage, wall, _ = run_workload(work)
         except Exception as exc:
             return _ReadyHandle(WorkloadOutcome(error=exc))
         return _ReadyHandle(
@@ -171,11 +233,13 @@ class _PoolExecutor(WorkloadExecutor):
     def _make_pool(self):
         raise NotImplementedError
 
-    def submit(self, work: Workload) -> WorkloadHandle:
+    def submit(
+        self, work: Workload, context: SpanContext | None = None
+    ) -> WorkloadHandle:
         if self._pool is None:
             self._pool = self._make_pool()
         try:
-            future = self._pool.submit(run_workload, work)
+            future = self._pool.submit(run_workload, work, context)
         except Exception as exc:  # pool broken / shut down
             return _ReadyHandle(WorkloadOutcome(error=exc))
         return _FutureHandle(future)
@@ -214,7 +278,9 @@ class ProcessExecutor(_PoolExecutor):
 
     name = "process"
 
-    def submit(self, work: Workload) -> WorkloadHandle:
+    def submit(
+        self, work: Workload, context: SpanContext | None = None
+    ) -> WorkloadHandle:
         tracer = get_tracer()
         if tracer.enabled:
             # What crosses the process boundary is the pickled workload;
@@ -225,22 +291,30 @@ class ProcessExecutor(_PoolExecutor):
                     pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL)
                 )
             except Exception:
-                pickled_bytes = -1
+                pickled_bytes = None
             tracer.event(
                 "executor.submit_pickle",
                 category="executor",
                 backend=self.name,
-                nbytes=pickled_bytes,
+                nbytes=-1 if pickled_bytes is None else pickled_bytes,
             )
-            tracer.observe("workload_pickle_bytes", float(pickled_bytes))
-        return super().submit(work)
+            # A failed pickle has no size: emit only the failure event
+            # above, never a sentinel observation that would poison the
+            # histogram's percentiles.
+            if pickled_bytes is not None:
+                tracer.observe("workload_pickle_bytes", float(pickled_bytes))
+        return super().submit(work, context)
 
     def _make_pool(self) -> ProcessPoolExecutor:
         import multiprocessing as mp
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else None)
-        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=ctx)
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+        )
 
 
 #: Registry of backend names -> classes (used by make_executor and docs).

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.cloud.sge import SGEJob
 from repro.obs import get_tracer
+from repro.obs.context import SpanContext, merge_worker_trace
 from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
 from repro.parallel.executor import (
     SerialExecutor,
@@ -58,9 +59,12 @@ class PilotAgent:
     pilot: Pilot
     cost_model: CostModel = field(default_factory=CostModel)
     executor: WorkloadExecutor = field(default_factory=SerialExecutor)
-    _pending: dict[str, tuple[ComputeUnit, WorkloadHandle]] = field(
-        default_factory=dict, repr=False
-    )
+    #: Seconds between in-workload RSS/CPU samples shipped back in worker
+    #: traces (0 = endpoint snapshots only; only pool backends sample).
+    resource_cadence: float = 0.0
+    _pending: dict[
+        str, tuple[ComputeUnit, WorkloadHandle, SpanContext | None]
+    ] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.pilot.cluster is None:
@@ -131,16 +135,26 @@ class PilotAgent:
             process=self.pilot.pilot_id,
             thread=unit.unit_id,
             backend=self.executor.name,
-        ):
-            handle = self.executor.submit(unit.description.work)
-        self._pending[unit.unit_id] = (unit, handle)
+        ) as dispatch:
+            # The context rides with the workload across the executor
+            # boundary; worker records are re-parented under this
+            # dispatch span when the outcome is collected.
+            context = SpanContext.capture(
+                tracer,
+                parent_span_id=dispatch.span_id,
+                process=self.pilot.pilot_id,
+                thread=unit.unit_id,
+                resource_cadence=self.resource_cadence,
+            )
+            handle = self.executor.submit(unit.description.work, context)
+        self._pending[unit.unit_id] = (unit, handle, context)
 
     # -- phase 2: collect --------------------------------------------------
 
     def collect(self, unit: ComputeUnit) -> None:
         """Block on the unit's workload outcome and enqueue its SGE job."""
         try:
-            unit, handle = self._pending.pop(unit.unit_id)
+            unit, handle, context = self._pending.pop(unit.unit_id)
         except KeyError:
             raise AgentError(
                 f"{unit.unit_id} has no pending workload on "
@@ -159,6 +173,17 @@ class PilotAgent:
                 backend=self.executor.name,
             )
             tracer.observe("workload_wall_seconds", outcome.wall_seconds)
+            merged = merge_worker_trace(tracer, outcome.worker_trace, context)
+            if merged:
+                tracer.count("worker_records_merged", float(merged))
+                tracer.event(
+                    "worker_trace.merged",
+                    category="executor",
+                    process=self.pilot.pilot_id,
+                    thread=unit.unit_id,
+                    pid=outcome.worker_trace.pid,
+                    records=merged,
+                )
         if not outcome.ok:
             tracer.count("units_workload_errors")
             _log.warning(
@@ -174,12 +199,12 @@ class PilotAgent:
 
     def drain(self) -> None:
         """Collect every pending unit, in dispatch order."""
-        for unit, _ in list(self._pending.values()):
+        for unit, _, _ in list(self._pending.values()):
             self.collect(unit)
 
     @property
     def pending_units(self) -> list[ComputeUnit]:
-        return [unit for unit, _ in self._pending.values()]
+        return [unit for unit, _, _ in self._pending.values()]
 
     # -- pricing and the virtual-clock SGE job -----------------------------
 

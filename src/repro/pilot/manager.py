@@ -137,6 +137,9 @@ class UnitManager:
     scheduler: UnitScheduler = field(default_factory=RoundRobinScheduler)
     cost_model: CostModel = field(default_factory=CostModel)
     executor: WorkloadExecutor | str = "serial"
+    #: Cadence (seconds) of in-workload RSS/CPU sampling under the pool
+    #: backends; forwarded to every agent (0 = endpoint snapshots only).
+    resource_cadence: float = 0.0
     pilots: list[Pilot] = field(default_factory=list)
     units: list[ComputeUnit] = field(default_factory=list)
     _agents: dict[str, PilotAgent] = field(default_factory=dict)
@@ -149,7 +152,10 @@ class UnitManager:
             raise ManagerError(f"{pilot.pilot_id} must be ACTIVE")
         self.pilots.append(pilot)
         self._agents[pilot.pilot_id] = PilotAgent(
-            pilot=pilot, cost_model=self.cost_model, executor=self.executor
+            pilot=pilot,
+            cost_model=self.cost_model,
+            executor=self.executor,
+            resource_cadence=self.resource_cadence,
         )
 
     def submit_units(

@@ -87,3 +87,67 @@ class TestMetrics:
         snap = m.snapshot()
         assert list(snap["counters"]) == ["a", "b"]
         json.dumps(snap)  # must serialize
+
+
+class TestMerge:
+    def test_counter_merge_adds_delta(self):
+        a, b = Counter("jobs", 3.0), Counter("jobs", 2.0)
+        a.merge(b)
+        assert a.value == 5.0
+        assert b.value == 2.0  # source untouched
+
+    def test_gauge_merge_keeps_latest_by_real_time(self):
+        newer, older = Gauge("vms"), Gauge("vms")
+        older.set(4, r_time=10.0)
+        newer.set(7, r_time=20.0)
+        g = Gauge("vms")
+        g.set(4, r_time=10.0)
+        g.merge(newer)
+        assert g.value == 7 and g.updated_r == 20.0
+        g2 = Gauge("vms")
+        g2.set(7, r_time=20.0)
+        g2.merge(older)
+        assert g2.value == 7 and g2.updated_r == 20.0  # stale loses
+
+    def test_gauge_merge_never_set_other_is_noop(self):
+        g = Gauge("vms")
+        g.set(3, r_time=1.0)
+        g.merge(Gauge("vms"))
+        assert g.value == 3
+
+    def test_gauge_merge_into_never_set_takes_other(self):
+        g = Gauge("vms")
+        incoming = Gauge("vms")
+        incoming.set(5, r_time=2.0)
+        g.merge(incoming)
+        assert g.value == 5 and g.updated_r == 2.0
+
+    def test_histogram_merge_concatenates(self):
+        a, b = Histogram("wait"), Histogram("wait")
+        a.observe(1.0)
+        b.observe(2.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.values == [1.0, 2.0, 3.0]
+
+    def test_registry_merge_folds_deltas(self):
+        parent, worker = Metrics(), Metrics()
+        parent.counter("units").inc(2)
+        parent.histogram("wait").observe(1.0)
+        parent.gauge("k").set(25, r_time=1.0)
+        worker.counter("units").inc(3)
+        worker.counter("worker_only").inc()
+        worker.histogram("wait").observe(9.0)
+        worker.gauge("k").set(31, r_time=5.0)
+        parent.merge(worker)
+        assert parent.counter("units").value == 5.0
+        assert parent.counter("worker_only").value == 1.0
+        assert parent.histogram("wait").values == [1.0, 9.0]
+        assert parent.gauge("k").value == 31
+
+    def test_registry_merge_empty_other_is_noop(self):
+        parent = Metrics()
+        parent.counter("units").inc(2)
+        snap = parent.snapshot()
+        parent.merge(Metrics())
+        assert parent.snapshot() == snap

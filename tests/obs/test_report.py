@@ -1,8 +1,10 @@
 """Tests for the run-report CLI and its building blocks."""
 
 import json
+from pathlib import Path
 
 from repro.obs import Tracer, write_jsonl
+from repro.obs.export import chrome_trace
 from repro.obs.report import (
     build_report,
     hottest_phases,
@@ -92,6 +94,114 @@ class TestSections:
         assert stage_table([]) == ""
         assert process_timelines([]) == ""
         assert "0 spans" in build_report([])
+
+
+def golden_records() -> list[dict]:
+    """A fully hand-constructed trace: every timestamp (virtual *and*
+    real) is a fixed literal, so the rendered report is byte-stable."""
+    return [
+        {
+            "type": "span", "name": "stage:pre-processing", "cat": "stage",
+            "process": "pilot.0", "thread": "main", "v0": 0.0, "v1": 123.25,
+            "r0": 1.0, "r1": 1.5, "id": 1, "parent": None,
+            "attrs": {"stage": "pre-processing", "pilot": "pilot.0",
+                      "n_nodes": 1, "instance_type": "c3.2xlarge"},
+        },
+        {
+            "type": "span", "name": "stage:transcript-assembly",
+            "cat": "stage", "process": "pilot.1", "thread": "main",
+            "v0": 123.25, "v1": 4123.25, "r0": 1.5, "r1": 3.25, "id": 2,
+            "parent": None,
+            "attrs": {"stage": "transcript-assembly", "pilot": "pilot.1",
+                      "n_nodes": 4, "instance_type": "r3.2xlarge"},
+        },
+        {
+            # A merged worker-side span: real clock only, per-pid track.
+            "type": "span", "name": "workload", "cat": "worker",
+            "process": "worker-4242", "thread": "u1", "v0": None,
+            "v1": None, "r0": 1.6, "r1": 2.6, "id": 3, "parent": 2,
+            "attrs": {"rss_bytes": 64000000, "cpu_seconds": 1.5},
+        },
+        {
+            "type": "event", "name": "resource.sample", "cat": "resource",
+            "process": "worker-4242", "thread": "u1", "v": None, "r": 1.7,
+            "attrs": {"rss_bytes": 64000000, "cpu_seconds": 0.75},
+        },
+        {
+            "type": "event", "name": "phase", "cat": "phase",
+            "process": "pilot.1", "thread": "u1", "v": 200.0, "r": 1.8,
+            "attrs": {"phase": "kmer-count", "kind": "kmer",
+                      "critical_compute": 5000.0, "comm_bytes": 123456},
+        },
+        {
+            "type": "metrics",
+            "data": {
+                "counters": {"units_done": 5, "worker_records_merged": 2},
+                "gauges": {"vms_running": 4},
+                "histograms": {
+                    "workload_wall_seconds": {
+                        "count": 2, "sum": 3.0, "mean": 1.5, "min": 1.0,
+                        "max": 2.0, "p50": 1.0, "p95": 2.0,
+                    }
+                },
+            },
+        },
+    ]
+
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_report.txt"
+
+
+class TestGoldenReport:
+    def test_report_matches_golden(self):
+        # Regenerate with:
+        #   PYTHONPATH=src:tests python -c "from obs.test_report import *; \
+        #       GOLDEN_PATH.write_text(build_report(golden_records()) + '\n')"
+        assert build_report(golden_records()) + "\n" == GOLDEN_PATH.read_text()
+
+    def test_golden_mentions_worker_artifacts(self):
+        text = GOLDEN_PATH.read_text()
+        assert "worker-4242" in text
+        assert "worker_records_merged" in text
+
+
+class TestChromeWorkerTracks:
+    def test_real_clock_roundtrip_keeps_worker_tracks(self, tmp_path):
+        doc = chrome_trace(golden_records(), clock="real")
+        clone = json.loads(json.dumps(doc))  # must survive JSON round-trip
+        events = clone["traceEvents"]
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert "worker-4242" in names and "pilot.0" in names
+        worker_pid = next(
+            e["pid"] for e in events
+            if e["name"] == "process_name"
+            and e["args"]["name"] == "worker-4242"
+        )
+        workload = next(e for e in events if e["name"] == "workload")
+        assert workload["pid"] == worker_pid
+        assert workload["ph"] == "X"
+        assert workload["ts"] == 1.6e6 and workload["dur"] == 1.0e6
+
+    def test_resource_samples_become_counter_tracks(self):
+        events = chrome_trace(golden_records(), clock="real")["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        by_name = {e["name"]: e for e in counters}
+        # endpoint attrs on the span do not create counters; the sample does
+        assert by_name["rss_mb"]["args"]["value"] == 64.0
+        assert by_name["cpu_s"]["args"]["value"] == 0.75
+        assert all(e["cat"] == "resource" for e in counters)
+
+    def test_virtual_clock_drops_worker_records(self):
+        events = chrome_trace(golden_records(), clock="virtual")["traceEvents"]
+        assert not any(e["name"] == "workload" for e in events)
+        assert not any(e["ph"] == "C" for e in events)
+        # ...and the worker track is never even registered
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert "worker-4242" not in names
 
 
 class TestCli:

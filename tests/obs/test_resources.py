@@ -1,0 +1,60 @@
+"""Tests for the RSS/CPU resource samplers."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs.resources import (
+    CadenceSampler,
+    ResourceSampler,
+    read_cpu_seconds,
+    read_rss_bytes,
+)
+
+
+class TestReaders:
+    def test_rss_positive(self):
+        rss = read_rss_bytes()
+        assert rss > 1024 * 1024  # a Python process is at least a MiB
+
+    def test_cpu_cumulative(self):
+        c0 = read_cpu_seconds()
+        # burn a little CPU so the counter visibly advances
+        sum(i * i for i in range(200_000))
+        assert read_cpu_seconds() >= c0 >= 0.0
+
+
+class TestResourceSampler:
+    def test_sample_fields(self):
+        s = ResourceSampler().sample()
+        assert s.rss_bytes > 0
+        assert s.cpu_seconds >= 0.0
+        assert s.r_time <= time.perf_counter()
+
+    def test_sample_picklable(self):
+        s = ResourceSampler().sample()
+        assert pickle.loads(pickle.dumps(s)) == s
+
+
+class TestCadenceSampler:
+    def test_collects_on_cadence_and_stops(self):
+        got = []
+        sampler = CadenceSampler(0.005, got.append)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        assert len(got) >= 2
+        n = len(got)
+        time.sleep(0.02)
+        assert len(got) == n
+
+    def test_stop_idempotent(self):
+        sampler = CadenceSampler(0.01, lambda s: None)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            CadenceSampler(0.0, lambda s: None)

@@ -65,10 +65,11 @@ class TestFactory:
 
 class TestRunWorkload:
     def test_times_the_call(self):
-        result, usage, wall = run_workload(slow_work)
+        result, usage, wall, worker_trace = run_workload(slow_work)
         assert result == "slow"
         assert usage.phases
         assert wall >= 0.02
+        assert worker_trace is None  # no context, no buffering
 
 
 class TestSerial:
