@@ -77,11 +77,41 @@ class Cluster:
         needs a bigger cluster than the current one)."""
         new = region.run_instances(self.itype, count)
         for vm in new:
-            self.vms.append(vm)
-            self.scheduler.slots_total[vm.vm_id] = vm.itype.vcpus
-            self.scheduler.slots_free[vm.vm_id] = vm.itype.vcpus
-        self.scheduler._try_schedule()
+            self.adopt_vm(vm)
         return new
+
+    def adopt_vm(self, vm: VM) -> None:
+        """Register an already-RUNNING VM as a worker node (elastic
+        growth lands its asynchronously provisioned VMs through here)."""
+        if vm.state is not VMState.RUNNING:
+            raise ClusterError(f"{vm.vm_id} is not running")
+        if vm.itype.name != self.itype.name:
+            raise ClusterError(
+                f"cluster is {self.itype.name}; cannot adopt {vm.itype.name}"
+            )
+        self.vms.append(vm)
+        self.scheduler.slots_total[vm.vm_id] = vm.itype.vcpus
+        self.scheduler.slots_free[vm.vm_id] = vm.itype.vcpus
+        self.scheduler._try_schedule()
+
+    def lose_vm(self, vm: VM) -> list:
+        """A worker was reclaimed under us (spot preemption): drop it
+        and fail the SGE jobs that were running on it.
+
+        The head node anchors the shared filesystem and the SGE qmaster;
+        losing it kills the whole cluster, so it must be kept on-demand
+        (a :class:`ClusterError` here is a modelling bug, not a
+        recoverable event).  Tolerates VMs already dropped (the
+        preemption/teardown race) by returning no failed jobs.
+        """
+        if vm not in self.vms:
+            return []
+        if vm is self.head:
+            raise ClusterError(
+                f"head node {vm.vm_id} lost: cluster {self.name} is down"
+            )
+        self.vms.remove(vm)
+        return self.scheduler.remove_node(vm.vm_id)
 
     def shrink_to(self, region: EC2Region, keep: int) -> list[VM]:
         """Terminate all but the first ``keep`` nodes (idle ones only)."""

@@ -73,6 +73,61 @@ class EC2Region:
             tracer.gauge("vms_running", len(self.running()))
         return batch
 
+    def launch_async(
+        self,
+        itype: InstanceType | str,
+        count: int,
+        events,
+        on_ready=None,
+    ) -> list[VM]:
+        """Launch VMs without blocking the clock (elastic replenishment).
+
+        Unlike :meth:`run_instances`, which advances the clock past the
+        provisioning window, this schedules readiness as an event
+        ``provision_seconds`` in the future — so it is safe to call while
+        other events are pending (mid-run growth from an event callback
+        would otherwise move the clock past them).  The VMs are returned
+        PENDING; ``on_ready(batch)`` fires once they are RUNNING.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if isinstance(itype, str):
+            itype = get_instance_type(itype)
+        launched_at = self.clock.now
+        batch = []
+        for _ in range(count):
+            vm = VM(
+                vm_id=f"i-{next(self._ids):06d}",
+                itype=itype,
+                launched_at=launched_at,
+            )
+            self.vms[vm.vm_id] = vm
+            batch.append(vm)
+
+        def _ready() -> None:
+            for vm in batch:
+                vm.mark_running(self.clock.now)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.add_span(
+                    "vm.provision",
+                    v_start=launched_at,
+                    v_end=self.clock.now,
+                    category="cloud",
+                    process="ec2",
+                    count=len(batch),
+                    instance_type=batch[0].itype.name,
+                    vm_ids=[vm.vm_id for vm in batch],
+                    asynchronous=True,
+                )
+                tracer.count("vms_launched", len(batch))
+                tracer.gauge("vms_running", len(self.running()))
+            if on_ready is not None:
+                on_ready(batch)
+
+        events.schedule_in(self.provision_seconds, _ready, tag="ec2.provision")
+        return batch
+
     def terminate(self, vm: VM) -> None:
         """Terminate and bill one VM."""
         if vm.vm_id not in self.vms:
@@ -95,6 +150,45 @@ class EC2Region:
             tracer.count("vms_terminated")
             tracer.count("billed_usd", line.cost)
             tracer.gauge("vms_running", len(self.running()))
+
+    def preempt(self, vm: VM):
+        """The cloud reclaims a spot/preemptible VM.
+
+        Idempotent: racing normal teardown is legal and bills nothing
+        twice.  Billing runs up to the preemption time (the kill path),
+        not to some later teardown.  Returns the billing line, or
+        ``None`` when the VM was already terminated.
+        """
+        if vm.vm_id not in self.vms:
+            raise VMError(f"unknown VM {vm.vm_id}")
+        if not vm.kill(self.clock.now, preempted=True):
+            return None
+        line = self.ledger.charge_vm(vm, self.clock.now)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "vm.lifetime",
+                v_start=vm.launched_at,
+                v_end=self.clock.now,
+                category="cloud",
+                process="ec2",
+                thread=vm.vm_id,
+                instance_type=vm.itype.name,
+                hours_billed=line.hours_billed,
+                cost_usd=line.cost,
+                preempted=True,
+            )
+            tracer.event(
+                "vm.preempt",
+                category="cloud",
+                process="ec2",
+                thread=vm.vm_id,
+                instance_type=vm.itype.name,
+            )
+            tracer.count("vms_preempted")
+            tracer.count("billed_usd", line.cost)
+            tracer.gauge("vms_running", len(self.running()))
+        return line
 
     def terminate_all(self, vms: list[VM] | None = None) -> None:
         targets = vms if vms is not None else list(self.vms.values())

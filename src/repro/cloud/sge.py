@@ -43,6 +43,9 @@ class SGEJob:
     slots: int
     duration: float | Callable[[dict[str, int]], float]
     on_complete: Callable[["SGEJob"], None] | None = None
+    #: Invoked when the job dies without completing (node loss under
+    #: preemption); exactly one of on_complete/on_fail ever fires.
+    on_fail: Callable[["SGEJob"], None] | None = None
     job_id: int = -1
     state: JobState = JobState.QUEUED
     submitted_at: float = 0.0
@@ -168,7 +171,62 @@ class SGEScheduler:
             duration, lambda: self._finish(job), tag=f"sge.finish:{job.name}"
         )
 
+    def remove_node(self, node: str) -> list[SGEJob]:
+        """A node died (spot preemption): drop its slots, fail the jobs
+        running on it, and fail queued jobs that can no longer ever fit.
+
+        Returns the failed jobs.  Running jobs allocated on the dead
+        node are not requeued here — recovery is the *pilot* layer's
+        job (restart machinery), not the batch scheduler's.
+        """
+        if node not in self.slots_total:
+            return []
+        victims = [
+            j
+            for j in self.jobs.values()
+            if j.state is JobState.RUNNING and node in j.allocation
+        ]
+        del self.slots_total[node]
+        del self.slots_free[node]
+        for job in victims:
+            self._fail(job, f"node {node} lost")
+        # Queued jobs sized for the pre-loss cluster may now exceed total
+        # capacity; they would sit in the queue forever.
+        for job in list(self.queue):
+            if job.slots > self.total_slots:
+                self.queue.remove(job)
+                self._fail(job, f"insufficient slots after losing {node}")
+                victims.append(job)
+        self._try_schedule()
+        return victims
+
+    def _fail(self, job: SGEJob, error: str) -> None:
+        """Mark a job FAILED, release its surviving slots, notify."""
+        job.state = JobState.FAILED
+        job.error = error
+        job.finished_at = self.events.clock.now
+        for node, n in job.allocation.items():
+            if node in self.slots_free:
+                self.slots_free[node] += n
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("sge_jobs_failed")
+            tracer.event(
+                "sge.fail",
+                category="sge",
+                process="sge",
+                thread=job.name,
+                job_id=job.job_id,
+                error=error,
+            )
+        if job.on_fail is not None:
+            job.on_fail(job)
+
     def _finish(self, job: SGEJob) -> None:
+        if job.state is not JobState.RUNNING:
+            # The finish event of a job that already died (node loss)
+            # still sits on the heap — events cannot be cancelled.
+            return
         job.state = JobState.DONE
         job.finished_at = self.events.clock.now
         for node, n in job.allocation.items():

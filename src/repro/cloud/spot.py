@@ -1,0 +1,102 @@
+"""Spot/preemptible instance model: reclaim events on the virtual clock.
+
+On-demand VMs live until the user terminates them; spot VMs can be
+reclaimed by the cloud at any moment (cf. the failure economics studied
+for serverless/spot genomics pipelines).  This module injects such
+reclaims deterministically: a :class:`SpotPreemptor` is armed with a list
+of virtual times, and at each time it kills one worker VM of the
+attached cluster — billing it up to the kill instant, dropping its SGE
+slots, and failing the jobs that were running on it.  The failed jobs
+surface as *transient* unit failures that the pilot layer's restart
+machinery retries.
+
+The head node is always treated as on-demand (protected): it anchors the
+shared filesystem and the SGE qmaster, which the paper's StarCluster
+setup cannot survive losing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.cloud.clock import EventQueue
+from repro.cloud.cluster import Cluster
+from repro.cloud.ec2 import EC2Region
+from repro.cloud.vm import VM, VMState
+from repro.obs import get_tracer
+
+
+def preempt_vm(region: EC2Region, cluster: Cluster | None, vm: VM) -> bool:
+    """Reclaim one VM: bill to the kill time, then tear its node out of
+    the cluster (failing the SGE jobs running on it).
+
+    Idempotent — returns ``False`` when the VM was already terminated
+    (e.g. the reclaim raced normal teardown), ``True`` when this call
+    killed it.
+    """
+    if region.preempt(vm) is None:
+        return False
+    if cluster is not None:
+        cluster.lose_vm(vm)
+    return True
+
+
+@dataclass
+class SpotPreemptor:
+    """Deterministic preemption injector for one cluster.
+
+    ``arm_at``/``arm_in`` schedule reclaim events; each event kills the
+    most recently added unprotected worker that is still RUNNING (a
+    deterministic choice, so chaos runs replay identically).  Reclaims
+    that find no eligible victim are no-ops.
+    """
+
+    region: EC2Region
+    events: EventQueue
+    cluster: Cluster
+    #: VM ids never reclaimed (the head node is always protected).
+    protect: set[str] = field(default_factory=set)
+    #: Called after each successful reclaim — the elastic pool's
+    #: replacement hook.
+    on_preempt: list[Callable[[VM], None]] = field(default_factory=list)
+    preempted: list[VM] = field(default_factory=list)
+
+    def arm_at(self, times: Iterable[float]) -> None:
+        """Schedule one reclaim at each absolute virtual time."""
+        for t in times:
+            self.events.schedule_at(t, self._strike, tag="spot.reclaim")
+
+    def arm_in(self, offsets: Iterable[float]) -> None:
+        """Schedule one reclaim at each offset from the current time."""
+        now = self.events.clock.now
+        self.arm_at(now + dt for dt in offsets)
+
+    def _victim(self) -> VM | None:
+        head = self.cluster.head
+        for vm in reversed(self.cluster.vms):
+            if vm is head or vm.vm_id in self.protect:
+                continue
+            if vm.state is VMState.RUNNING:
+                return vm
+        return None
+
+    def _strike(self) -> None:
+        vm = self._victim()
+        tracer = get_tracer()
+        if vm is None:
+            tracer.count("spot_reclaims_unfilled")
+            return
+        if preempt_vm(self.region, self.cluster, vm):
+            self.preempted.append(vm)
+            if tracer.enabled:
+                tracer.event(
+                    "spot.reclaim",
+                    category="cloud",
+                    process="ec2",
+                    thread=vm.vm_id,
+                    cluster=self.cluster.name,
+                    nodes_left=self.cluster.n_nodes,
+                )
+            for hook in self.on_preempt:
+                hook(vm)

@@ -33,6 +33,9 @@ class VM:
     state: VMState = VMState.PENDING
     running_at: float | None = None
     terminated_at: float | None = None
+    #: True when the cloud reclaimed this VM (spot preemption) rather
+    #: than the user terminating it.
+    preempted: bool = False
     _reserved_bytes: int = field(default=0, repr=False)
 
     def mark_running(self, now: float) -> None:
@@ -46,6 +49,22 @@ class VM:
             raise VMError(f"{self.vm_id}: already terminated")
         self.state = VMState.TERMINATED
         self.terminated_at = now
+
+    def kill(self, now: float, preempted: bool = True) -> bool:
+        """Forced termination (spot reclaim, crash): legal from any
+        state and idempotent, unlike :meth:`mark_terminated` — an
+        external kill racing normal teardown must not crash the sim.
+
+        Returns ``True`` if this call terminated the VM, ``False`` if it
+        was already dead (the race).  :meth:`billable_seconds` then runs
+        up to the kill time only.
+        """
+        if self.state is VMState.TERMINATED:
+            return False
+        self.state = VMState.TERMINATED
+        self.terminated_at = now
+        self.preempted = preempted
+        return True
 
     # -- memory ---------------------------------------------------------------
 

@@ -182,6 +182,7 @@ def assembly_unit_descriptions(
     min_contig_length: int = 100,
     input_bytes: int | None = None,
     use_cache: bool = True,
+    max_restarts: int = 0,
 ) -> list[UnitDescription]:
     """One UnitDescription per (assembler, k) job in the plan.
 
@@ -189,6 +190,12 @@ def assembly_unit_descriptions(
     hand back already-extrapolated usage, so units carry ``scale=1``.
     The reads are encoded exactly once — every unit's workload shares the
     same :class:`ReadStore`.
+
+    Every unit carries a ``checkpoint_key`` — the same content address
+    the assembly cache uses, ``(store digest, assembler, params,
+    ranks)`` — so runs with a durable checkpoint store resume the
+    fan-out bit-identically.  ``max_restarts`` lets callers survive
+    transient failures (spot preemption) by retrying.
     """
     store = (
         reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
@@ -220,6 +227,8 @@ def assembly_unit_descriptions(
                 scale=1.0,
                 stage="transcript-assembly",
                 input_bytes=input_bytes,
+                max_restarts=max_restarts,
+                checkpoint_key=(store.digest, assembler, params, cores),
                 tags={"assembler": assembler, "k": k, "nodes": nodes},
             )
         )

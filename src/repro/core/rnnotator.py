@@ -18,8 +18,10 @@ from repro.cloud.clock import EventQueue, SimClock
 from repro.cloud.cluster import Cluster, build_cluster
 from repro.cloud.ec2 import EC2Region
 from repro.cloud.instances import cheapest_with_memory, get_instance_type
+from repro.cloud.spot import SpotPreemptor
 from repro.cloud.storage import TransferModel
 from repro.core import multikmer
+from repro.core.checkpoint import CheckpointStore
 from repro.core.memory import task_memory_bytes
 from repro.core.planner import AssemblyPlan, plan_assembly, select_kmer_list
 from repro.core.preprocess import PreprocessParams, PreprocessResult, preprocess
@@ -32,7 +34,8 @@ from repro.parallel.costmodel import CostModel
 from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
-from repro.pilot.manager import PilotManager, UnitManager
+from repro.pilot.elastic import ElasticPool
+from repro.pilot.manager import PilotManager, UnitFailureError, UnitManager
 from repro.pilot.scheduler import MemoryAwareScheduler, SchedulingError
 from repro.pilot.states import UnitState
 from repro.seq.datasets import Dataset
@@ -41,6 +44,13 @@ from repro.seq.readstore import ReadStore
 
 class PipelineError(RuntimeError):
     """A stage failed terminally (e.g. OOM under a static workflow)."""
+
+
+class PipelineKilled(PipelineError):
+    """The run was killed mid-pipeline (``abort_after_stage``): the
+    simulated analogue of the driver process dying.  Checkpoints written
+    up to the kill point survive; a rerun with the same
+    ``checkpoint_dir`` resumes bit-identically."""
 
 
 @dataclass(frozen=True)
@@ -73,16 +83,43 @@ class PipelineConfig:
     #: exported as Perfetto counter tracks).  0 keeps only the
     #: span-endpoint snapshots; ignored when tracing is off.
     resource_cadence: float = 0.0
+    #: Directory of the durable checkpoint store (None = no
+    #: checkpointing).  A rerun pointed at the same directory with the
+    #: same dataset and config replays completed units bit-identically
+    #: — same contigs, usage and virtual TTCs (see repro.core.checkpoint).
+    checkpoint_dir: str | None = None
+    #: Restart budget for the assembly fan-out units; >0 lets the
+    #: restart machinery survive transient (preemption) failures.
+    unit_max_restarts: int = 0
+    #: Consecutive no-progress restart rounds before a unit manager
+    #: declares livelock (forwarded to every UnitManager).
+    max_restart_rounds: int = 10
+    #: Failure injection: virtual-seconds offsets from the start of the
+    #: assembly fan-out at which the cloud reclaims one worker VM of
+    #: P_B's cluster (spot preemption; the head node is protected).
+    preempt_at: tuple[float, ...] = ()
+    #: Failure injection: raise :class:`PipelineKilled` right after the
+    #: named stage completes — the simulated driver kill the CI chaos
+    #: job uses to exercise checkpoint/resume.
+    abort_after_stage: str | None = None
 
     def __post_init__(self) -> None:
         if not self.assemblers:
             raise ValueError("need at least one assembler")
         if self.workflow is WorkflowPattern.CONVENTIONAL and (
-            self.scheme is not MatchingScheme.S2
+            not self.scheme.reuses_vms
         ):
-            raise ValueError("the conventional pattern implies VM reuse (S2)")
+            raise ValueError(
+                "the conventional pattern implies VM reuse (S2/S3)"
+            )
         if isinstance(self.executor, str):
             make_executor(self.executor)  # validate the name early
+        if self.unit_max_restarts < 0:
+            raise ValueError("unit_max_restarts must be >= 0")
+        if self.max_restart_rounds < 1:
+            raise ValueError("max_restart_rounds must be >= 1")
+        if any(dt < 0 for dt in self.preempt_at):
+            raise ValueError("preempt_at offsets must be >= 0")
 
 
 @dataclass
@@ -100,6 +137,10 @@ class PipelineResult:
     total_ttc: float
     total_cost: float
     transfer_seconds: float
+    #: Checkpoint store traffic when ``config.checkpoint_dir`` was set
+    #: (keys: unit_hits/unit_misses/unit_puts/stages_recorded); ``None``
+    #: otherwise.  ``unit_hits > 0`` means this run resumed prior work.
+    checkpoint_stats: dict | None = None
 
     @property
     def transcripts(self) -> list[Contig]:
@@ -197,6 +238,49 @@ class RnnotatorPipeline:
         pm = PilotManager(region, events, db)
         stages: list[StageReport] = []
 
+        all_reads = dataset.run.all_reads()
+
+        # ---- durable checkpointing ----------------------------------------
+        # Unit outcomes are keyed by content (ReadStore digests and
+        # assembly params); stage markers additionally carry a config
+        # fingerprint so a changed knob invalidates them.
+        ckpt: CheckpointStore | None = None
+        run_key = None
+        if config.checkpoint_dir is not None:
+            ckpt = CheckpointStore(config.checkpoint_dir)
+            raw_store = ReadStore.from_reads(all_reads)
+            raw_digest = raw_store.digest
+            raw_store.close()
+            run_key = (
+                raw_digest,
+                config.assemblers,
+                config.scheme.value,
+                config.workflow.value,
+                config.instance_type,
+                config.mpi_nodes_per_job,
+                config.contrail_nodes_per_job,
+                config.max_nodes,
+                config.min_count,
+                config.min_contig_length,
+                config.kmer_list,
+                config.preprocess_params,
+            )
+
+        def checkpoint_stage(report: StageReport) -> None:
+            if ckpt is not None:
+                ckpt.put_stage(
+                    (run_key, report.name),
+                    {"name": report.name, "ttc": report.ttc,
+                     "notes": report.notes},
+                )
+
+        def maybe_abort(stage_name: str) -> None:
+            if config.abort_after_stage == stage_name:
+                raise PipelineKilled(
+                    f"simulated kill after stage {stage_name!r} "
+                    f"(checkpoints: {config.checkpoint_dir})"
+                )
+
         # ---- choose the P_A instance type ---------------------------------
         pre_mem = task_memory_bytes(spec, "preprocess")
         if config.instance_type is not None:
@@ -221,11 +305,13 @@ class RnnotatorPipeline:
             )
         )
         _trace_stage(stages[-1])
+        checkpoint_stage(stages[-1])
+        maybe_abort("stage-in")
 
         # ---- pilot P_A: pre-processing ------------------------------------
         shared_cluster: Cluster | None = None
         pa = pm.submit(PilotDescription("P_A", pa_itype, n_nodes=1))
-        if config.scheme is MatchingScheme.S2:
+        if config.scheme.reuses_vms:
             shared_cluster = build_cluster(
                 region, events, pa_itype, 1, name="shared"
             )
@@ -234,11 +320,14 @@ class RnnotatorPipeline:
             pm.launch(pa)
 
         um = UnitManager(
-            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+            db,
+            events,
+            scheduler=MemoryAwareScheduler(),
+            cost_model=self.cost_model,
+            checkpoint=ckpt,
+            max_restart_rounds=config.max_restart_rounds,
         )
         um.add_pilot(pa)
-
-        all_reads = dataset.run.all_reads()
 
         def pre_work():
             result = preprocess(all_reads, config.preprocess_params)
@@ -257,12 +346,19 @@ class RnnotatorPipeline:
                     stage="pre-processing",
                     input_bytes=spec.fastq_bytes,
                     output_bytes=spec.preprocessed_bytes,
+                    checkpoint_key=None
+                    if ckpt is None
+                    else (
+                        "stage:preprocess",
+                        raw_digest,
+                        config.preprocess_params,
+                    ),
                 )
             ]
         )
         try:
             um.run([pre_unit])
-        except SchedulingError as exc:
+        except (SchedulingError, UnitFailureError) as exc:
             raise PipelineError(
                 f"pre-processing failed on {pa_itype}: {exc} "
                 "(a dynamic workflow would have chosen a larger instance)"
@@ -286,10 +382,12 @@ class RnnotatorPipeline:
             )
         )
         _trace_stage(stages[-1])
+        checkpoint_stage(stages[-1])
+        maybe_abort("pre-processing")
 
         # ---- plan the assembly stage (the dynamic decision) ---------------
         kmer_list = config.kmer_list or select_kmer_list(pre.modal_read_length)
-        pb_itype = pa_itype if config.scheme is MatchingScheme.S2 else (
+        pb_itype = pa_itype if config.scheme.reuses_vms else (
             config.instance_type or pa_itype
         )
         plan = plan_assembly(
@@ -304,7 +402,7 @@ class RnnotatorPipeline:
 
         # ---- pilot P_B: transcript assembly --------------------------------
         pb = pm.submit(PilotDescription("P_B", pb_itype, n_nodes=plan.n_nodes))
-        if config.scheme is MatchingScheme.S2:
+        if config.scheme.reuses_vms:
             if shared_cluster.n_nodes < plan.n_nodes:
                 shared_cluster.grow(
                     region, plan.n_nodes - shared_cluster.n_nodes
@@ -317,6 +415,29 @@ class RnnotatorPipeline:
                 spec.preprocessed_bytes, src="P_A", dst="P_B"
             )
 
+        # ---- failure injection + S3 elasticity for the fan-out -------------
+        preemptor: SpotPreemptor | None = None
+        if config.preempt_at:
+            preemptor = SpotPreemptor(
+                region,
+                events,
+                cluster=pb.cluster,
+                protect={pb.cluster.head.vm_id},
+            )
+            preemptor.arm_in(config.preempt_at)
+        elastic: ElasticPool | None = None
+        if config.scheme.elastic:
+            elastic = ElasticPool(
+                region,
+                events,
+                cluster=pb.cluster,
+                pilot=pb,
+                min_nodes=1,
+                max_nodes=config.max_nodes,
+            )
+            if preemptor is not None:
+                preemptor.on_preempt.append(elastic.on_preempt)
+
         # The assembly fan-out is where task-level parallelism lives: its
         # workloads are picklable AssemblyWorkload callables, so any
         # executor backend (thread/process pool) can spread them over
@@ -328,6 +449,9 @@ class RnnotatorPipeline:
             cost_model=self.cost_model,
             executor=make_executor(config.executor, config.executor_workers),
             resource_cadence=config.resource_cadence,
+            checkpoint=ckpt,
+            elastic=elastic,
+            max_restart_rounds=config.max_restart_rounds,
         )
         umb.add_pilot(pb)
         # Encode the pre-processed reads exactly once; every fan-out unit
@@ -342,12 +466,18 @@ class RnnotatorPipeline:
             min_count=config.min_count,
             min_contig_length=config.min_contig_length,
             use_cache=config.assembly_cache,
+            max_restarts=config.unit_max_restarts,
         )
         t0 = clock.now
         w0 = time.perf_counter()
         units = umb.submit_units(descs)
         try:
             umb.run(units)
+        except UnitFailureError as exc:
+            raise PipelineError(
+                f"assembly jobs failed: "
+                f"{[(u.description.name, u.error) for u in exc.units]}"
+            ) from exc
         finally:
             if isinstance(config.executor, str):
                 umb.close()  # the pipeline owns backends it created
@@ -373,12 +503,16 @@ class RnnotatorPipeline:
             )
         )
         _trace_stage(stages[-1])
+        checkpoint_stage(stages[-1])
+        maybe_abort("transcript-assembly")
 
         # ---- pilot P_C: post-processing + quantification -------------------
         pc_itype = pb_itype
         pc = pm.submit(PilotDescription("P_C", pc_itype, n_nodes=1))
-        if config.scheme is MatchingScheme.S2:
+        if config.scheme.reuses_vms:
             pm.finish(pb)
+            if elastic is not None:
+                elastic.shrink_idle()
             shared_cluster.shrink_to(region, 1)
             pm.launch_on(pc, shared_cluster)
         else:
@@ -391,9 +525,26 @@ class RnnotatorPipeline:
             transfers.copy(contig_bytes, src="P_B", dst="P_C")
 
         umc = UnitManager(
-            db, events, scheduler=MemoryAwareScheduler(), cost_model=self.cost_model
+            db,
+            events,
+            scheduler=MemoryAwareScheduler(),
+            cost_model=self.cost_model,
+            checkpoint=ckpt,
+            max_restart_rounds=config.max_restart_rounds,
         )
         umc.add_pilot(pc)
+        # The merge output is a pure function of the fan-out results, so
+        # its content address is the ordered tuple of their keys; the
+        # quantification additionally depends on the pre-processed reads.
+        fanout_keys = tuple(d.checkpoint_key for d in descs)
+        merge_key = (
+            None if ckpt is None else ("stage:merge", fanout_keys)
+        )
+        quant_key = (
+            None
+            if ckpt is None
+            else ("stage:quantify", store.digest, fanout_keys)
+        )
 
         def merge_work():
             result = merge_contigs(
@@ -412,10 +563,16 @@ class RnnotatorPipeline:
                     memory_bytes=task_memory_bytes(spec, "postprocess"),
                     scale=dataset.read_scale,
                     stage="post-processing",
+                    checkpoint_key=merge_key,
                 )
             ]
         )
-        umc.run([merge_unit])
+        try:
+            umc.run([merge_unit])
+        except UnitFailureError as exc:
+            raise PipelineError(
+                f"post-processing failed: {merge_unit.error}"
+            ) from exc
         if merge_unit.state is not UnitState.DONE:
             raise PipelineError(f"post-processing failed: {merge_unit.error}")
         merged: MergeResult = merge_unit.result
@@ -432,6 +589,8 @@ class RnnotatorPipeline:
             )
         )
         _trace_stage(stages[-1])
+        checkpoint_stage(stages[-1])
+        maybe_abort("post-processing")
 
         def quant_work():
             result = quantify(pre.reads, merged.transcripts)
@@ -448,10 +607,16 @@ class RnnotatorPipeline:
                     memory_bytes=task_memory_bytes(spec, "postprocess"),
                     scale=dataset.read_scale,
                     stage="quantification",
+                    checkpoint_key=quant_key,
                 )
             ]
         )
-        umc.run([quant_unit])
+        try:
+            umc.run([quant_unit])
+        except UnitFailureError as exc:
+            raise PipelineError(
+                f"quantification failed: {quant_unit.error}"
+            ) from exc
         if quant_unit.state is not UnitState.DONE:
             raise PipelineError(f"quantification failed: {quant_unit.error}")
         quantification: QuantificationResult = quant_unit.result
@@ -468,6 +633,8 @@ class RnnotatorPipeline:
             )
         )
         _trace_stage(stages[-1])
+        checkpoint_stage(stages[-1])
+        maybe_abort("quantification")
 
         # ---- teardown -------------------------------------------------------
         pm.finish(pc)
@@ -501,4 +668,14 @@ class RnnotatorPipeline:
             total_ttc=clock.now,
             total_cost=region.total_cost,
             transfer_seconds=transfers.total_seconds,
+            checkpoint_stats=(
+                None
+                if ckpt is None
+                else {
+                    "unit_hits": ckpt.stats.hits,
+                    "unit_misses": ckpt.stats.misses,
+                    "unit_puts": ckpt.stats.puts,
+                    "stages_recorded": ckpt.stage_count(),
+                }
+            ),
         )

@@ -14,6 +14,11 @@ lifetimes:
   — but the pool's instance type must satisfy the most demanding stage
   (P. crispa's pre-processing forces the expensive r3.2xlarge to stick
   around for the whole run).
+* **S3 — elastic reused pool**: S2's reuse, plus mid-run elasticity — an
+  :class:`~repro.pilot.elastic.ElasticPool` controller grows the pool
+  when SGE queue depth outstrips free slots (the signature of spot
+  preemption pressure) and shrinks idle workers back between stages.
+  The natural scheme for running the fan-out on preemptible instances.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import enum
 class MatchingScheme(enum.Enum):
     S1 = "S1"
     S2 = "S2"
+    S3 = "S3"
 
     @property
     def couples_vm_lifetime(self) -> bool:
@@ -31,7 +37,11 @@ class MatchingScheme(enum.Enum):
 
     @property
     def reuses_vms(self) -> bool:
-        return self is MatchingScheme.S2
+        return self in (MatchingScheme.S2, MatchingScheme.S3)
+
+    @property
+    def elastic(self) -> bool:
+        return self is MatchingScheme.S3
 
     @property
     def pays_interstage_transfer(self) -> bool:

@@ -13,6 +13,19 @@ trace as an artifact, and diffs it against the committed baseline with
 The assembly cache is disabled so the trace is identical whether or not
 the process already ran a pipeline, and the seed is fixed so every
 virtual quantity is deterministic.
+
+The chaos knobs turn the same smoke into a checkpoint/resume drill (the
+CI chaos job):
+
+* ``--checkpoint-dir DIR`` enables the durable checkpoint store;
+* ``--kill-after-stage NAME`` kills the run after that stage (exit 75,
+  the sysexits ``EX_TEMPFAIL``) — rerunning with the same checkpoint
+  directory resumes bit-identically;
+* ``--preempt-at T`` (repeatable) injects a spot reclaim ``T`` virtual
+  seconds into the assembly fan-out, with ``--max-unit-restarts`` giving
+  units the budget to survive it;
+* ``--expect-checkpoint-hits N`` asserts the run replayed at least N
+  unit outcomes (resume actually resumed).
 """
 
 from __future__ import annotations
@@ -20,10 +33,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.rnnotator import PipelineConfig, RnnotatorPipeline
+from repro.core.rnnotator import (
+    PipelineConfig,
+    PipelineKilled,
+    RnnotatorPipeline,
+)
+from repro.core.schemes import MatchingScheme
 from repro.obs import Tracer
 from repro.obs.export import write_jsonl
 from repro.seq.datasets import tiny_dataset
+
+#: Exit code of a deliberately killed run (sysexits.h EX_TEMPFAIL: a
+#: rerun may succeed — which is the whole point of the checkpoint).
+KILLED_EXIT_CODE = 75
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,28 +70,102 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds between in-workload RSS/CPU samples (0 = endpoints)",
     )
     parser.add_argument("--seed", type=int, default=1, help="dataset seed")
+    parser.add_argument(
+        "--scheme",
+        default="S2",
+        choices=[s.value for s in MatchingScheme],
+        help="pilot-VM matching scheme (default: S2)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="durable checkpoint store directory (default: off)",
+    )
+    parser.add_argument(
+        "--kill-after-stage",
+        default=None,
+        metavar="STAGE",
+        help="kill the run after this stage completes (exits "
+        f"{KILLED_EXIT_CODE}; rerun with the same --checkpoint-dir "
+        "to resume)",
+    )
+    parser.add_argument(
+        "--preempt-at",
+        type=float,
+        action="append",
+        default=[],
+        metavar="SECONDS",
+        help="inject a spot reclaim this many virtual seconds into the "
+        "assembly fan-out (repeatable)",
+    )
+    parser.add_argument(
+        "--max-unit-restarts",
+        type=int,
+        default=0,
+        help="restart budget for assembly units (default: 0)",
+    )
+    parser.add_argument(
+        "--expect-checkpoint-hits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail unless the run replayed at least N checkpointed units",
+    )
     args = parser.parse_args(argv)
 
     tracer = Tracer()
-    result = RnnotatorPipeline(tracer=tracer).run(
-        tiny_dataset(seed=args.seed),
-        PipelineConfig(
-            kmer_list=(35, 41),
-            executor=args.executor,
-            executor_workers=args.workers,
-            assembly_cache=False,
-            resource_cadence=args.resource_cadence,
-        ),
+    config = PipelineConfig(
+        kmer_list=(35, 41),
+        executor=args.executor,
+        executor_workers=args.workers,
+        assembly_cache=False,
+        resource_cadence=args.resource_cadence,
+        scheme=MatchingScheme.parse(args.scheme),
+        checkpoint_dir=args.checkpoint_dir,
+        abort_after_stage=args.kill_after_stage,
+        preempt_at=tuple(args.preempt_at),
+        unit_max_restarts=args.max_unit_restarts,
     )
+    try:
+        result = RnnotatorPipeline(tracer=tracer).run(
+            tiny_dataset(seed=args.seed), config
+        )
+    except PipelineKilled as exc:
+        path = write_jsonl(tracer, args.out)
+        print(f"traced smoke killed as requested: {exc} -> {path}")
+        return KILLED_EXIT_CODE
+
     path = write_jsonl(tracer, args.out)
     worker_spans = sum(
         1 for s in tracer.spans if s.process.startswith("worker-")
     )
+    def counter(name: str) -> int:
+        c = tracer.metrics.counters.get(name)
+        return int(c.value) if c is not None else 0
+
+    hits = counter("checkpoint_hits")
+    chaos = ""
+    if args.checkpoint_dir is not None or args.preempt_at:
+        stats = result.checkpoint_stats or {}
+        chaos = (
+            f", checkpoint hits {hits} / puts {stats.get('unit_puts', 0)}"
+            f", preemptions {counter('vms_preempted')}"
+        )
     print(
         f"traced smoke ok: TTC {result.total_ttc:.0f} s, "
         f"{len(tracer.spans)} spans ({worker_spans} from workers), "
-        f"{len(tracer.events)} events -> {path}"
+        f"{len(tracer.events)} events{chaos} -> {path}"
     )
+    if (
+        args.expect_checkpoint_hits is not None
+        and hits < args.expect_checkpoint_hits
+    ):
+        print(
+            f"ERROR: expected >= {args.expect_checkpoint_hits} checkpoint "
+            f"hits, saw {hits} — the resume did not resume",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

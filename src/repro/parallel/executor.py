@@ -97,6 +97,28 @@ def _init_worker() -> None:
     gc.freeze()
 
 
+@dataclass(frozen=True)
+class ReplayWorkload:
+    """A checkpointed outcome standing in for the real computation.
+
+    Resume-from-checkpoint must be *trace-transparent*: a replayed unit
+    travels the identical dispatch path (executor submit, pickle
+    measurement, pool round-trip) so the resumed run's trace has the
+    same structure as an uninterrupted one.  Only the workload body is
+    substituted: :func:`run_workload` short-circuits to the stored
+    outcome — including the original worker trace, whose spans and
+    events are re-merged parent-side exactly like a live run's.
+    """
+
+    result: Any
+    usage: ResourceUsage | None
+    wall_seconds: float = 0.0
+    worker_trace: WorkerTrace | None = None
+
+    def __call__(self) -> tuple[Any, ResourceUsage | None]:
+        return self.result, self.usage
+
+
 def run_workload(
     work: Workload, context: SpanContext | None = None
 ) -> tuple[Any, ResourceUsage, float, WorkerTrace | None]:
@@ -108,6 +130,8 @@ def run_workload(
     buffers instead of vanishing with the worker — and the buffered
     trace is the fourth element of the returned tuple.
     """
+    if isinstance(work, ReplayWorkload):
+        return work.result, work.usage, work.wall_seconds, work.worker_trace
     if context is None:
         t0 = time.perf_counter()
         result, usage = work()
@@ -207,11 +231,19 @@ class SerialExecutor(WorkloadExecutor):
         if tracer.enabled:
             tracer.event("executor.dispatch", category="executor", backend=self.name)
         try:
-            result, usage, wall, _ = run_workload(work)
+            # The worker trace is always None for live inline runs (no
+            # context, no buffering) but carries the original's buffered
+            # records when replaying a checkpointed pool-backend outcome.
+            result, usage, wall, worker_trace = run_workload(work)
         except Exception as exc:
             return _ReadyHandle(WorkloadOutcome(error=exc))
         return _ReadyHandle(
-            WorkloadOutcome(result=result, usage=usage, wall_seconds=wall)
+            WorkloadOutcome(
+                result=result,
+                usage=usage,
+                wall_seconds=wall,
+                worker_trace=worker_trace,
+            )
         )
 
 

@@ -20,7 +20,8 @@ RP architecture the paper builds on (§III.C):
 from repro.pilot.agent import PilotAgent
 from repro.pilot.description import PilotDescription, UnitDescription
 from repro.pilot.db import StateStore
-from repro.pilot.manager import PilotManager, UnitManager
+from repro.pilot.elastic import ElasticPool
+from repro.pilot.manager import PilotManager, UnitFailureError, UnitManager
 from repro.pilot.pilot import Pilot
 from repro.pilot.scheduler import (
     MemoryAwareScheduler,
@@ -44,5 +45,7 @@ __all__ = [
     "MemoryAwareScheduler",
     "PilotManager",
     "UnitManager",
+    "UnitFailureError",
     "PilotAgent",
+    "ElasticPool",
 ]

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.sge import SGEJob
 from repro.obs import get_tracer
 from repro.obs.context import SpanContext, merge_worker_trace
 from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
 from repro.parallel.executor import (
+    ReplayWorkload,
     SerialExecutor,
     WorkloadExecutor,
     WorkloadHandle,
@@ -41,6 +43,9 @@ from repro.parallel.usage import ResourceUsage
 from repro.pilot.pilot import Pilot
 from repro.pilot.states import PilotState, UnitState
 from repro.pilot.unit import ComputeUnit
+
+if TYPE_CHECKING:  # import cycle: repro.core.__init__ -> ... -> this module
+    from repro.core.checkpoint import CheckpointStore
 
 #: Fraction of the priced runtime a task burns before dying of OOM.
 OOM_FAILURE_FRACTION = 0.3
@@ -62,8 +67,11 @@ class PilotAgent:
     #: Seconds between in-workload RSS/CPU samples shipped back in worker
     #: traces (0 = endpoint snapshots only; only pool backends sample).
     resource_cadence: float = 0.0
+    #: Durable checkpoint store: DONE unit outcomes are recorded under
+    #: their ``description.checkpoint_key`` and replayed on later runs.
+    checkpoint: "CheckpointStore | None" = None
     _pending: dict[
-        str, tuple[ComputeUnit, WorkloadHandle, SpanContext | None]
+        str, tuple[ComputeUnit, WorkloadHandle, SpanContext | None, bool]
     ] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -125,6 +133,27 @@ class PilotAgent:
                 self.slice_slots,
             )
 
+        # A checkpointed outcome substitutes for the real computation but
+        # still travels the full dispatch/collect/SGE path below, so the
+        # replay is bit-identical in results, virtual TTC and trace
+        # structure (see repro.core.checkpoint).
+        work = unit.description.work
+        replayed = False
+        key = unit.description.checkpoint_key
+        if self.checkpoint is not None and key is not None:
+            record = self.checkpoint.get_unit(key)
+            if record is not None:
+                work = ReplayWorkload(
+                    result=record.result,
+                    usage=record.usage,
+                    wall_seconds=record.wall_seconds,
+                    worker_trace=record.worker_trace,
+                )
+                replayed = True
+                tracer.count("checkpoint_hits")
+            else:
+                tracer.count("checkpoint_misses")
+
         # Dispatch the real workload; it may run concurrently with other
         # units' workloads.  Virtual time is charged when the SGE job
         # runs, after collect() binds the outcome back in.
@@ -146,15 +175,15 @@ class PilotAgent:
                 thread=unit.unit_id,
                 resource_cadence=self.resource_cadence,
             )
-            handle = self.executor.submit(unit.description.work, context)
-        self._pending[unit.unit_id] = (unit, handle, context)
+            handle = self.executor.submit(work, context)
+        self._pending[unit.unit_id] = (unit, handle, context, replayed)
 
     # -- phase 2: collect --------------------------------------------------
 
     def collect(self, unit: ComputeUnit) -> None:
         """Block on the unit's workload outcome and enqueue its SGE job."""
         try:
-            unit, handle, context = self._pending.pop(unit.unit_id)
+            unit, handle, context, replayed = self._pending.pop(unit.unit_id)
         except KeyError:
             raise AgentError(
                 f"{unit.unit_id} has no pending workload on "
@@ -195,16 +224,32 @@ class PilotAgent:
             unit.fail(f"workload error: {outcome.error}")
             return
         unit.real_seconds = outcome.wall_seconds
+        key = unit.description.checkpoint_key
+        if self.checkpoint is not None and key is not None and not replayed:
+            # Record the *raw* outcome (pre-scaling usage): replay runs
+            # the identical pricing path, so TTCs match bit-for-bit.
+            from repro.core.checkpoint import UnitCheckpoint
+
+            self.checkpoint.put_unit(
+                key,
+                UnitCheckpoint(
+                    result=outcome.result,
+                    usage=outcome.usage,
+                    wall_seconds=outcome.wall_seconds,
+                    worker_trace=outcome.worker_trace,
+                ),
+            )
+            tracer.count("checkpoint_puts")
         self._enqueue(unit, outcome.result, outcome.usage)
 
     def drain(self) -> None:
         """Collect every pending unit, in dispatch order."""
-        for unit, _, _ in list(self._pending.values()):
+        for unit, _, _, _ in list(self._pending.values()):
             self.collect(unit)
 
     @property
     def pending_units(self) -> list[ComputeUnit]:
-        return [unit for unit, _, _ in self._pending.values()]
+        return [unit for unit, _, _, _ in self._pending.values()]
 
     # -- pricing and the virtual-clock SGE job -----------------------------
 
@@ -282,11 +327,44 @@ class PilotAgent:
             on_start_states()
             return duration(alloc)
 
+        def on_fail(job: SGEJob) -> None:
+            # The job died with the node under it (spot preemption) or
+            # was starved out by the capacity loss — not the unit's
+            # fault, so the failure is transient: the restart loop may
+            # legally retry on this same pilot.
+            tracer = get_tracer()
+            tracer.count("units_preempted")
+            if job.started_at is not None:
+                unit.finished_at = cluster.events.clock.now
+                unit.usage = scaled  # burnt work, kept for accounting
+                if tracer.enabled:
+                    tracer.add_span(
+                        f"exec:{unit.description.name}",
+                        v_start=unit.started_at,
+                        v_end=unit.finished_at,
+                        category="unit",
+                        process=self.pilot.pilot_id,
+                        thread=unit.unit_id,
+                        unit=unit.description.name,
+                        stage=unit.description.stage,
+                        slots=job.slots,
+                        nodes=len(job.allocation),
+                        preempted=True,
+                    )
+            _log.warning(
+                "%s: unit %s lost its node: %s",
+                self.pilot.pilot_id,
+                unit.description.name,
+                job.error,
+            )
+            unit.fail(f"preempted: {job.error}", transient=True)
+
         job = SGEJob(
             name=unit.description.name,
             slots=min(unit.description.cores, self.slice_slots),
             duration=timed_duration,
             on_complete=on_complete,
+            on_fail=on_fail,
         )
         cluster.scheduler.qsub(job)
 

@@ -41,6 +41,12 @@ class UnitDescription:
     the virtual clock.  ``memory_bytes`` (paper scale) lets the scheduler
     and the capacity check reason about footprints without running first;
     when 0, the post-hoc measured usage is the only check.
+
+    ``checkpoint_key`` is the unit's content address in the durable
+    checkpoint store (``None`` = never checkpointed): identical keys
+    across two runs mean the stored outcome replays bit-identically, so
+    the key must cover everything the outcome depends on — for assembly
+    units that is ``(ReadStore digest, assembler, params, sweep k)``.
     """
 
     name: str
@@ -52,6 +58,7 @@ class UnitDescription:
     input_bytes: int = 0
     output_bytes: int = 0
     max_restarts: int = 0
+    checkpoint_key: Any = None
     tags: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

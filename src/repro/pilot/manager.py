@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cloud.clock import EventQueue
 from repro.cloud.cluster import Cluster, build_cluster, cluster_from_vms
@@ -35,9 +36,31 @@ from repro.pilot.scheduler import (
 from repro.pilot.states import PilotState, UnitState
 from repro.pilot.unit import ComputeUnit
 
+if TYPE_CHECKING:  # import cycle: repro.core.__init__ -> ... -> this module
+    from repro.core.checkpoint import CheckpointStore
+    from repro.pilot.elastic import ElasticPool
+
 
 class ManagerError(RuntimeError):
     pass
+
+
+class UnitFailureError(ManagerError):
+    """Units failed permanently (exhausted ``max_restarts``).
+
+    Raised instead of returning success-shaped results with FAILED units
+    silently left behind; ``units`` carries the permanently failed ones
+    so callers can report or selectively recover.
+    """
+
+    def __init__(self, units: list["ComputeUnit"]) -> None:
+        self.units = list(units)
+        detail = ", ".join(
+            f"{u.description.name} ({u.error})" for u in self.units
+        )
+        super().__init__(
+            f"{len(self.units)} unit(s) failed permanently: {detail}"
+        )
 
 
 _log = logging.getLogger(__name__)
@@ -140,6 +163,17 @@ class UnitManager:
     #: Cadence (seconds) of in-workload RSS/CPU sampling under the pool
     #: backends; forwarded to every agent (0 = endpoint snapshots only).
     resource_cadence: float = 0.0
+    #: Durable checkpoint store forwarded to every agent (None = off):
+    #: DONE outcomes are recorded under their checkpoint keys and
+    #: replayed bit-identically on resume.
+    checkpoint: "CheckpointStore | None" = None
+    #: Elastic pool controller (the S3 scheme): consulted each restart
+    #: round to grow the pilot's cluster from SGE queue depth.
+    elastic: "ElasticPool | None" = None
+    #: Restart rounds that made no progress (no unit finished, no new
+    #: exclusion learned) before the loop gives up as livelocked.
+    #: Productive rounds do not count against it.
+    max_restart_rounds: int = 10
     pilots: list[Pilot] = field(default_factory=list)
     units: list[ComputeUnit] = field(default_factory=list)
     _agents: dict[str, PilotAgent] = field(default_factory=dict)
@@ -156,6 +190,7 @@ class UnitManager:
             cost_model=self.cost_model,
             executor=self.executor,
             resource_cadence=self.resource_cadence,
+            checkpoint=self.checkpoint,
         )
 
     def submit_units(
@@ -171,19 +206,26 @@ class UnitManager:
 
     def run(self, units: list[ComputeUnit] | None = None) -> list[ComputeUnit]:
         """Schedule, execute and (where allowed) restart units; returns
-        them once all are final.  Advances the virtual clock.
+        them once all are DONE.  Advances the virtual clock.
 
         Restarts honour the paper's §III.C "restarting [elsewhere]"
         semantics: a ``(unit, pilot)`` pair that already failed is never
-        retried, and a unit whose restart fits no untried pilot fails
-        with a :class:`SchedulingError` instead of looping.
+        retried — except after *transient* failures (the unit's node was
+        preempted), which are no fault of the unit's — and a unit whose
+        restart fits no untried pilot fails with a
+        :class:`SchedulingError` instead of looping.
+
+        Units that exhaust ``description.max_restarts`` raise a
+        :class:`UnitFailureError` listing them: a run with permanently
+        failed units must never return success-shaped results.
         """
-        pending = list(units) if units is not None else list(self.units)
+        run_units = list(units) if units is not None else list(self.units)
+        pending = list(run_units)
         if not self.pilots:
             raise ManagerError("no pilots added")
 
         failed_on: dict[str, set[str]] = {}
-        attempt = 0
+        no_progress_rounds = 0
         while pending:
             try:
                 assignment = self.scheduler.schedule(
@@ -208,16 +250,60 @@ class UnitManager:
             for unit in pending:
                 if unit.state is UnitState.PENDING_EXECUTION:
                     self._agents[unit.pilot_id].collect(unit)
+            if self.elastic is not None:
+                # The queue is now fully populated for this round: grow
+                # the pool if demand outstrips free slots.  Replacement
+                # nodes land mid-run as provisioning events.
+                self.elastic.rebalance()
             self.events.run()
 
+            stuck = [u for u in pending if not u.is_final]
+            if stuck:
+                # The event queue drained with units still not final —
+                # their SGE jobs can never start (capacity lost and
+                # never replaced).  Surface it; silence here would be
+                # the original swallowing bug in a new guise.
+                raise ManagerError(
+                    f"units never completed (insufficient capacity): "
+                    f"{[u.description.name for u in stuck]}"
+                )
+
             failed = [u for u in pending if u.state is UnitState.FAILED]
+            made_progress = len(failed) < len(pending)
             for u in failed:
-                if u.pilot_id is not None:
+                # A transient failure (preempted node) says nothing
+                # about the unit/pilot pairing, so it earns no
+                # exclusion and the same pilot may be retried.
+                if u.pilot_id is not None and not u.failure_transient:
+                    if u.pilot_id not in failed_on.get(u.unit_id, set()):
+                        made_progress = True
                     failed_on.setdefault(u.unit_id, set()).add(u.pilot_id)
             retryable = [
                 u for u in failed if u.restarts < u.description.max_restarts
             ]
+            exhausted = [
+                u for u in failed if u.restarts >= u.description.max_restarts
+            ]
             tracer = get_tracer()
+            if exhausted:
+                tracer.count("units_failed_permanently", len(exhausted))
+                for u in exhausted:
+                    _log.error(
+                        "unit %s failed permanently after %d restart(s): %s",
+                        u.description.name,
+                        u.restarts,
+                        u.error,
+                    )
+                    if tracer.enabled:
+                        tracer.event(
+                            "unit.failed_permanently",
+                            category="scheduler",
+                            thread=u.unit_id,
+                            unit=u.description.name,
+                            restarts=u.restarts,
+                            error=u.error,
+                        )
+                raise UnitFailureError(exhausted)
             for u in retryable:
                 _log.warning(
                     "restarting %s elsewhere (attempt %d, excluded pilots: %s)",
@@ -236,10 +322,13 @@ class UnitManager:
                     )
                 u.reset_for_restart()
             pending = retryable
-            attempt += 1
-            if attempt > 10:
-                raise ManagerError("restart loop did not converge")
-        return list(units) if units is not None else list(self.units)
+            no_progress_rounds = 0 if made_progress else no_progress_rounds + 1
+            if no_progress_rounds >= self.max_restart_rounds:
+                raise ManagerError(
+                    f"restart loop did not converge: {self.max_restart_rounds} "
+                    f"consecutive round(s) without progress"
+                )
+        return run_units
 
     def wait_done(self) -> None:
         self.events.run()

@@ -37,6 +37,9 @@ class Pilot:
     transition_hooks: list[TransitionHook] = field(
         default_factory=list, repr=False
     )
+    #: Live slice size override set by the elastic (S3) pool; ``None``
+    #: means the declared description.n_nodes.
+    _elastic_nodes: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.db.register(
@@ -72,7 +75,26 @@ class Pilot:
 
     @property
     def n_nodes(self) -> int:
+        if self._elastic_nodes is not None:
+            return self._elastic_nodes
         return self.description.n_nodes
+
+    def resize(self, n_nodes: int) -> None:
+        """Change the pilot's live slice size (the elastic S3 pool grows
+        and shrinks pilots mid-run; S1/S2 pilots stay at their declared
+        ``description.n_nodes``)."""
+        if n_nodes < 1:
+            raise ValueError("pilot needs at least one node")
+        self._elastic_nodes = n_nodes
+        self.db.update(self.pilot_id, "n_nodes", n_nodes)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "pilot.resize",
+                category="pilot",
+                process=self.pilot_id,
+                n_nodes=n_nodes,
+            )
 
     def bind_cluster(self, cluster: Cluster) -> None:
         if self.cluster is not None:

@@ -35,6 +35,10 @@ class ComputeUnit:
     finished_at: float | None = None
     #: Real host seconds spent in the workload (not virtual time).
     real_seconds: float | None = None
+    #: True when the last failure was no fault of the unit's (its node
+    #: was preempted): the restart loop may then retry the same pilot
+    #: instead of excluding it.
+    failure_transient: bool = False
     #: Called exactly once per legal transition, after the state store is
     #: updated — the seam the tracer (and tests) observe lifecycles on.
     transition_hooks: list[TransitionHook] = field(
@@ -84,8 +88,9 @@ class ComputeUnit:
         self.pilot_id = pilot_id
         self.db.update(self.unit_id, "pilot", pilot_id)
 
-    def fail(self, error: str) -> None:
+    def fail(self, error: str, transient: bool = False) -> None:
         self.error = error
+        self.failure_transient = transient
         self.advance(UnitState.FAILED)
         self.db.update(self.unit_id, "error", error)
 
@@ -102,6 +107,7 @@ class ComputeUnit:
         self.restarts += 1
         self.pilot_id = None
         self.error = None
+        self.failure_transient = False
         self.result = None
         self.usage = None
         self.started_at = None

@@ -1,0 +1,231 @@
+"""Spot/preemptible VM model: idempotent kills, billing to the kill
+time, SGE node-loss semantics, deterministic reclaim injection, and
+non-blocking (async) provisioning."""
+
+import pytest
+
+from repro.cloud.clock import EventQueue, SimClock
+from repro.cloud.cluster import ClusterError, build_cluster
+from repro.cloud.ec2 import EC2Region
+from repro.cloud.sge import JobState, SGEJob
+from repro.cloud.spot import SpotPreemptor, preempt_vm
+from repro.cloud.vm import VM, VMError, VMState
+
+
+def sim():
+    clock = SimClock()
+    events = EventQueue(clock)
+    region = EC2Region(clock)
+    return clock, events, region
+
+
+class TestVMKill:
+    def test_kill_is_idempotent(self):
+        clock, events, region = sim()
+        (vm,) = region.run_instances("c3.2xlarge", 1)
+        clock.advance(100)
+        t_kill = clock.now
+        assert vm.kill(t_kill) is True
+        assert vm.state is VMState.TERMINATED
+        assert vm.preempted
+        # The race with normal teardown: a second kill is a no-op that
+        # must not move the termination time.
+        assert vm.kill(t_kill + 500) is False
+        assert vm.terminated_at == t_kill
+
+    def test_mark_terminated_still_raises_on_double(self):
+        """kill() tolerates races; mark_terminated keeps catching real
+        double-terminate bugs."""
+        clock, events, region = sim()
+        (vm,) = region.run_instances("c3.2xlarge", 1)
+        vm.mark_terminated(clock.now)
+        with pytest.raises(VMError):
+            vm.mark_terminated(clock.now)
+
+    def test_billing_stops_at_kill_time(self):
+        clock, events, region = sim()
+        (vm,) = region.run_instances("c3.2xlarge", 1)
+        clock.advance(1000)
+        vm.kill(clock.now)
+        killed_at = clock.now
+        clock.advance(5000)
+        assert vm.billable_seconds(clock.now) == killed_at - vm.launched_at
+
+
+class TestRegionPreempt:
+    def test_preempt_bills_exactly_once(self):
+        clock, events, region = sim()
+        (vm,) = region.run_instances("c3.2xlarge", 1)
+        clock.advance(100)
+        line = region.preempt(vm)
+        assert line is not None
+        cost_after_first = region.total_cost
+        assert cost_after_first > 0
+        # Idempotent: the reclaim racing teardown bills nothing twice.
+        assert region.preempt(vm) is None
+        assert region.total_cost == cost_after_first
+
+    def test_preempt_unknown_vm_raises(self):
+        clock, events, region = sim()
+        stray = VM(vm_id="i-zzzzzz", itype=region.run_instances(
+            "c3.2xlarge", 1)[0].itype, launched_at=0.0)
+        with pytest.raises(VMError):
+            region.preempt(stray)
+
+    def test_terminate_all_skips_preempted(self):
+        clock, events, region = sim()
+        vms = region.run_instances("c3.2xlarge", 2)
+        clock.advance(100)
+        region.preempt(vms[1])
+        cost_mid = region.total_cost
+        region.terminate_all()  # must not raise, must not re-bill vms[1]
+        assert all(v.state is VMState.TERMINATED for v in vms)
+        assert region.total_cost > cost_mid  # vms[0] billed once
+        assert region.ledger.total_cost == region.total_cost
+
+
+class TestNodeLoss:
+    def cluster2(self):
+        clock, events, region = sim()
+        cluster = build_cluster(region, events, "c3.2xlarge", 2)
+        return clock, events, region, cluster
+
+    def test_running_job_fails_with_its_node(self):
+        clock, events, region, cluster = self.cluster2()
+        failed = []
+        job = SGEJob(
+            name="wide", slots=16, duration=1000.0,
+            on_fail=failed.append,
+        )
+        cluster.scheduler.qsub(job)
+        assert job.state is JobState.RUNNING
+        worker = cluster.vms[1]
+        victims = cluster.lose_vm(worker)
+        assert victims == [job]
+        assert job.state is JobState.FAILED
+        assert worker.vm_id in job.error
+        assert failed == [job]
+        assert cluster.n_nodes == 1
+        assert cluster.total_slots == 8
+
+    def test_stale_finish_event_is_ignored(self):
+        """SGE finish events cannot be cancelled: the dead job's pending
+        completion must not resurrect it."""
+        clock, events, region, cluster = self.cluster2()
+        completed = []
+        job = SGEJob(
+            name="wide", slots=16, duration=1000.0,
+            on_complete=completed.append,
+        )
+        cluster.scheduler.qsub(job)
+        cluster.lose_vm(cluster.vms[1])
+        events.run()  # fires the stale sge.finish event
+        assert job.state is JobState.FAILED
+        assert completed == []
+
+    def test_starved_queued_job_fails(self):
+        """A queued job sized for the pre-loss cluster that can never fit
+        again must fail, not sit in the queue forever."""
+        clock, events, region, cluster = self.cluster2()
+        running = SGEJob(name="small", slots=8, duration=100.0)
+        doomed_failures = []
+        doomed = SGEJob(
+            name="needs16", slots=16, duration=100.0,
+            on_fail=doomed_failures.append,
+        )
+        cluster.scheduler.qsub(running)
+        cluster.scheduler.qsub(doomed)
+        assert doomed.state is JobState.QUEUED
+        cluster.lose_vm(cluster.vms[1])
+        assert doomed.state is JobState.FAILED
+        assert "insufficient slots" in doomed.error
+        assert doomed_failures == [doomed]
+        # The fitting job keeps running and still completes.
+        events.run()
+        assert running.state is JobState.DONE
+
+    def test_losing_head_is_fatal(self):
+        clock, events, region, cluster = self.cluster2()
+        with pytest.raises(ClusterError):
+            cluster.lose_vm(cluster.head)
+
+    def test_losing_unknown_vm_is_noop(self):
+        clock, events, region, cluster = self.cluster2()
+        (stranger,) = region.run_instances("c3.2xlarge", 1)
+        assert cluster.lose_vm(stranger) == []
+        assert cluster.n_nodes == 2
+
+
+class TestSpotPreemptor:
+    def test_strike_reclaims_last_worker(self):
+        clock, events, region = sim()
+        cluster = build_cluster(region, events, "c3.2xlarge", 3)
+        seen = []
+        preemptor = SpotPreemptor(
+            region, events, cluster=cluster,
+            protect={cluster.head.vm_id},
+        )
+        preemptor.on_preempt.append(seen.append)
+        last_worker = cluster.vms[-1]
+        preemptor.arm_in([10.0])
+        events.run()
+        assert preemptor.preempted == [last_worker]
+        assert seen == [last_worker]
+        assert last_worker.state is VMState.TERMINATED
+        assert last_worker.preempted
+        assert cluster.n_nodes == 2
+        assert cluster.head.state is VMState.RUNNING
+
+    def test_strikes_never_take_the_head(self):
+        clock, events, region = sim()
+        cluster = build_cluster(region, events, "c3.2xlarge", 2)
+        preemptor = SpotPreemptor(
+            region, events, cluster=cluster,
+            protect={cluster.head.vm_id},
+        )
+        # Two strikes, one eligible worker: the second finds no victim.
+        preemptor.arm_in([5.0, 10.0])
+        events.run()
+        assert len(preemptor.preempted) == 1
+        assert cluster.head.state is VMState.RUNNING
+        assert cluster.n_nodes == 1
+
+    def test_preempt_vm_idempotent(self):
+        clock, events, region = sim()
+        cluster = build_cluster(region, events, "c3.2xlarge", 2)
+        worker = cluster.vms[1]
+        assert preempt_vm(region, cluster, worker) is True
+        assert preempt_vm(region, cluster, worker) is False
+
+
+class TestLaunchAsync:
+    def test_vms_become_running_via_event(self):
+        clock, events, region = sim()
+        ready = []
+        batch = region.launch_async(
+            "c3.2xlarge", 2, events, on_ready=ready.extend
+        )
+        assert all(vm.state is VMState.PENDING for vm in batch)
+        assert ready == []
+        t0 = clock.now
+        events.run()
+        assert clock.now == t0 + region.provision_seconds
+        assert all(vm.state is VMState.RUNNING for vm in batch)
+        assert ready == batch
+
+    def test_safe_with_pending_events(self):
+        """The point of launch_async: growth from inside an event
+        callback must not move the clock past later pending events."""
+        clock, events, region = sim()
+        order = []
+
+        def grow():
+            region.launch_async(
+                "c3.2xlarge", 1, events,
+                on_ready=lambda b: order.append("ready"),
+            )
+
+        events.schedule_in(10.0, grow)
+        events.schedule_in(50.0, lambda: order.append("mid"))
+        events.run()
+        assert order == ["mid", "ready"]

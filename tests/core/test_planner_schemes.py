@@ -116,12 +116,17 @@ class TestSchemesWorkflow:
         assert MatchingScheme.S1.pays_interstage_transfer
         assert MatchingScheme.S2.reuses_vms
         assert not MatchingScheme.S2.pays_interstage_transfer
+        assert MatchingScheme.S3.reuses_vms
+        assert MatchingScheme.S3.elastic
+        assert not MatchingScheme.S2.elastic
+        assert not MatchingScheme.S3.couples_vm_lifetime
 
     def test_scheme_parse(self):
         assert MatchingScheme.parse("s1") is MatchingScheme.S1
         assert MatchingScheme.parse(MatchingScheme.S2) is MatchingScheme.S2
+        assert MatchingScheme.parse("s3") is MatchingScheme.S3
         with pytest.raises(ValueError):
-            MatchingScheme.parse("s3")
+            MatchingScheme.parse("s4")
 
     def test_pattern_properties(self):
         assert not WorkflowPattern.CONVENTIONAL.is_distributed

@@ -8,7 +8,12 @@ from repro.cloud.instances import GiB
 from repro.parallel.usage import PhaseUsage, ResourceUsage
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
-from repro.pilot.manager import ManagerError, PilotManager, UnitManager
+from repro.pilot.manager import (
+    ManagerError,
+    PilotManager,
+    UnitFailureError,
+    UnitManager,
+)
 from repro.pilot.pilot import Pilot
 from repro.pilot.scheduler import (
     LoadBalancingScheduler,
@@ -222,11 +227,15 @@ class TestUnitExecution:
 
     def test_oom_fails_unit(self):
         # 1 GiB per rank at sim scale, scale=0.01 -> 100 GiB per rank.
+        # With no restart budget the run surfaces the failure loudly
+        # instead of returning normally with a FAILED unit.
         descs = [unit_desc(name="big", mem=10**9, scale=0.01)]
-        clock, units, _, _ = self.run_units(descs)
-        (u,) = units
+        with pytest.raises(UnitFailureError) as exc_info:
+            self.run_units(descs)
+        (u,) = exc_info.value.units
         assert u.state is UnitState.FAILED
         assert "OOM" in u.error
+        assert "big" in str(exc_info.value)
 
     def test_static_oom_fails_before_execution(self):
         """Submitting directly to an agent (bypassing the scheduler's fit
@@ -249,8 +258,9 @@ class TestUnitExecution:
             raise RuntimeError("kaput")
 
         desc = UnitDescription(name="bad", work=boom, cores=1)
-        clock, units, _, _ = self.run_units([desc])
-        (u,) = units
+        with pytest.raises(UnitFailureError) as exc_info:
+            self.run_units([desc])
+        (u,) = exc_info.value.units
         assert u.state is UnitState.FAILED
         assert "kaput" in u.error
 

@@ -21,7 +21,7 @@ from repro.parallel.usage import PhaseUsage, ResourceUsage
 from repro.pilot.agent import PilotAgent, merged_usage
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
-from repro.pilot.manager import PilotManager, UnitManager
+from repro.pilot.manager import PilotManager, UnitFailureError, UnitManager
 from repro.pilot.scheduler import SchedulingError
 from repro.pilot.states import UnitState
 from repro.pilot.unit import ComputeUnit
@@ -65,7 +65,8 @@ class TestResetClearsExecutionRecord:
         um = UnitManager(db, events)
         um.add_pilot(pilot)
         units = um.submit_units([oom_desc()])
-        um.run(units)
+        with pytest.raises(UnitFailureError):
+            um.run(units)
         return units[0]
 
     def test_failed_attempt_records_usage(self):
@@ -275,7 +276,8 @@ class TestMergedUsage:
                 oom_desc(name="dead"),
             ]
         )
-        um.run(units)
+        with pytest.raises(UnitFailureError):
+            um.run(units)
         ok, dead = units
         assert ok.state is UnitState.DONE
         assert dead.state is UnitState.FAILED
