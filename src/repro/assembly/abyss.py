@@ -48,12 +48,13 @@ class AbyssAssembler:
         store: ReadStore,
         params: AssemblyParams,
         n_ranks: int = 8,
+        spectrum=None,
     ) -> AssemblyResult:
         world = SimWorld(n_ranks)
         p = world.size
         k = params.k
 
-        shards = distribute_and_count(world, store, k)
+        shards = distribute_and_count(world, store, k, spectrum=spectrum)
 
         with world.phase("graph_build", kind="graph"):
             for r in world.ranks():

@@ -41,7 +41,7 @@ from repro.assembly.kmers import (
     canonical_kmers_packed,
     revcomp_kmer,
 )
-from repro.parallel.mapreduce import MapReduceEngine, MRJob
+from repro.parallel.mapreduce import MapReduceEngine, MRJob, MRJobStats
 from repro.seq.fastq import FastqRecord
 from repro.seq.readstore import ReadStore
 
@@ -120,6 +120,7 @@ class ContrailAssembler:
         params: AssemblyParams,
         n_ranks: int = 8,
         fail_on_n: bool = False,
+        spectrum=None,
     ) -> AssemblyResult:
         if fail_on_n and store.contains_n():
             raise ContrailInputError(
@@ -129,7 +130,14 @@ class ContrailAssembler:
         engine = MapReduceEngine(n_ranks)
         k = params.k
 
-        counts = self._job_kmer_count_encoded(engine, store, params)
+        if (
+            spectrum is not None
+            and spectrum.k == k
+            and spectrum.store_digest == store.digest
+        ):
+            counts = self._derive_kmer_count(engine, store, params, spectrum)
+        else:
+            counts = self._job_kmer_count_encoded(engine, store, params)
         segments = {
             i: _Segment(sid=i, codes=kmer, cov_sum=float(c), n_kmers=1)
             for i, (kmer, c) in enumerate(sorted(counts.items()))
@@ -229,6 +237,69 @@ class ContrailAssembler:
             packedmod.ints_to_packed(int_keys, k), k
         )
         return {bk: c for bk, (_key, c) in zip(byte_keys, out)}
+
+    def _derive_kmer_count(
+        self,
+        engine: MapReduceEngine,
+        store: ReadStore,
+        params: AssemblyParams,
+        spectrum,
+    ) -> dict[bytes, int]:
+        """Count-once twin of :meth:`_job_kmer_count_encoded`.
+
+        The shared :class:`~repro.assembly.sweep.KmerSpectrum` already is
+        the job's result, so instead of streaming every read through the
+        engine the job's *measured statistics* are derived from the
+        occurrence stream and booked via
+        :meth:`~repro.parallel.mapreduce.MapReduceEngine.record_job`:
+
+        * map input = reads, map output = occurrences;
+        * combiner output = distinct (map task, k-mer) pairs — task of
+          read ``i`` is ``i % n`` exactly as the engine splits records;
+        * shuffle bytes price each pair as one logical k-byte key plus a
+          single-element combiner value list;
+        * the reducer-memory peak replays the engine's per-partition sum
+          with ``hash(key) % n`` placement over the same integer keys;
+        * reduce groups = distinct k-mers, outputs = those >= min_count.
+
+        Every quantity equals the executed job's bit-for-bit.
+        """
+        k = params.k
+        n = engine.n_workers
+        n_distinct = spectrum.n_distinct
+        occ_task = spectrum.occ_read() % n
+        pairs = np.unique(occ_task * n_distinct + spectrum.inverse)
+        # Per distinct key: how many map tasks emitted it (the length of
+        # its shuffled value list).
+        multiplicity = np.bincount(pairs % n_distinct, minlength=n_distinct)
+        ge = spectrum.counts >= params.min_count
+
+        stats = MRJobStats(
+            name="kmer_count",
+            map_input_records=store.n_reads,
+            map_output_records=spectrum.n_occurrences,
+            combine_output_records=int(pairs.size),
+            # Each (task, key) pair ships a k-byte logical key plus a
+            # one-int value list (nbytes([v]) == 24).
+            shuffle_bytes=int(pairs.size) * (k + 24),
+            reduce_input_groups=n_distinct,
+            reduce_output_records=int(ge.sum()),
+        )
+        int_keys = packedmod.packed_to_ints(spectrum.distinct, k)
+        dests = np.fromiter(
+            (hash(v) % n for v in int_keys),
+            dtype=np.int64,
+            count=n_distinct,
+        )
+        # nbytes(dict) pricing per partition: k + (8*m + 16) per key, +16
+        # container overhead; sums of small ints stay exact in float64.
+        per_key = k + 16 + 8 * multiplicity.astype(np.float64)
+        part_bytes = np.bincount(dests, weights=per_key, minlength=n)
+        peak = int(part_bytes.max()) + 16
+        engine.record_job(stats, peak)
+
+        byte_keys = packedmod.unpack_to_bytes(spectrum.distinct[ge], k)
+        return dict(zip(byte_keys, spectrum.counts[ge].tolist()))
 
     def _job_pair(
         self,

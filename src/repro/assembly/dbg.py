@@ -62,12 +62,30 @@ class KmerTable:
 
     @classmethod
     def from_packed(
-        cls, k: int, packed_rows: np.ndarray, counts: np.ndarray
+        cls,
+        k: int,
+        packed_rows: np.ndarray,
+        counts: np.ndarray,
+        presorted: bool = False,
     ) -> "KmerTable":
-        """Build from *distinct* packed rows and their counts."""
+        """Build from *distinct* packed rows and their counts.
+
+        ``presorted=True`` skips the sort for rows already in ascending
+        key order — the cache-served path of the fused extraction layer
+        (:mod:`repro.assembly.sweep`), where the shared spectrum stores
+        its distinct rows sorted once.  Sortedness is re-checked only
+        under :data:`repro.assembly.packed.DEBUG_SORTED_ENV`.
+        """
         t = cls(k)
         rows = np.asarray(packed_rows, dtype=np.uint64).reshape(-1, t.words)
         key_arr = packedmod.keys(rows, k)
+        if presorted:
+            if packedmod.debug_assert_sorted_enabled():
+                packedmod.assert_sorted(key_arr)
+            t._packed = np.ascontiguousarray(rows)
+            t._counts = np.asarray(counts, dtype=np.int64)
+            t._keys = key_arr
+            return t
         order = np.argsort(key_arr, kind="stable")
         t._packed = np.ascontiguousarray(rows[order])
         t._counts = np.asarray(counts, dtype=np.int64)[order]
@@ -205,10 +223,13 @@ def build_kmer_table(k: int, counts: dict[bytes, int]) -> KmerTable:
 
 
 def build_kmer_table_packed(
-    k: int, packed_rows: np.ndarray, counts: np.ndarray
+    k: int,
+    packed_rows: np.ndarray,
+    counts: np.ndarray,
+    presorted: bool = False,
 ) -> KmerTable:
     """Wrap distinct packed canonical rows + counts without conversions."""
-    return KmerTable.from_packed(k, packed_rows, counts)
+    return KmerTable.from_packed(k, packed_rows, counts, presorted=presorted)
 
 
 class Unitig:

@@ -188,6 +188,94 @@ def canonical_kmers_store_packed(
     return canonical_kmers_packed(codes, k)
 
 
+def fused_canonical_positions_packed(
+    codes: np.ndarray, ks
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Canonical packed k-mers + window positions for *all* k in one pass.
+
+    ``codes`` is a flat uint8 code array in the :class:`~repro.seq.
+    readstore.ReadStore` layout (reads joined by single-N separators, or
+    any single sequence).  Returns ``{k: (canonical_rows, positions)}``
+    where ``positions`` are the start offsets of the N-free windows in
+    ascending order and ``canonical_rows`` is bit-identical — rows *and*
+    order — to ``canonical_kmers_packed(codes, k)``.
+
+    The fusion: the flat array is packed exactly once at ``kmax`` (every
+    window start 0..T-kmax), and each smaller k is *derived* by masking
+    the packed words down to its top ``2k`` bits — the packed layout is
+    left-aligned, so the first k bases of a kmax-window are literally the
+    k-window at the same position.  Only the ≤ ``kmax - k`` tail windows
+    past the last kmax start (and nothing else) are packed directly.
+    N-validity for every k comes from one prefix-sum over the N mask.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    ks = sorted({int(k) for k in ks})
+    if not ks:
+        return {}
+    for k in ks:
+        packedmod.check_k(k)
+    U = np.uint64
+    ones = U(0xFFFFFFFFFFFFFFFF)
+    T = codes.shape[0]
+    kmax = ks[-1]
+
+    # One N prefix-sum serves every k: window [i, i+k) is N-free iff the
+    # count of N bases does not grow across it.
+    nbad = np.zeros(T + 1, dtype=np.int64)
+    if T:
+        nbad[1:] = np.cumsum(codes >= alphabet.N, dtype=np.int64)
+    # N bases are masked to code 0 so they pack cleanly; any window that
+    # contains one is dropped by the validity mask, so the value never
+    # surfaces.
+    san = codes & np.uint8(3)
+
+    # Single packing pass at kmax over every start position 0..T-kmax.
+    n_main = max(T - kmax + 1, 0)
+    W = packedmod.words_for(kmax)
+    main0 = np.zeros(n_main, dtype=U)
+    main1 = np.zeros(n_main, dtype=U) if W == 2 else None
+    if n_main:
+        k0 = min(kmax, 32)
+        w = np.zeros(n_main, dtype=U)
+        for i in range(k0):
+            w = (w << U(2)) | san[i : i + n_main].astype(U)
+        main0 = w << U(2 * (32 - k0))
+        if W == 2:
+            w = np.zeros(n_main, dtype=U)
+            for i in range(32, kmax):
+                w = (w << U(2)) | san[i : i + n_main].astype(U)
+            main1 = w << U(128 - 2 * kmax)
+
+    out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for k in ks:
+        Wk = packedmod.words_for(k)
+        n_k = max(T - k + 1, 0)
+        if n_k == 0:
+            out[k] = (
+                np.zeros((0, Wk), dtype=U),
+                np.zeros(0, dtype=np.int64),
+            )
+            continue
+        valid = nbad[k : k + n_k] - nbad[:n_k] == 0
+        pos = np.flatnonzero(valid).astype(np.int64)
+        main_sel = pos[pos < n_main]
+        tail_sel = pos[pos >= n_main]
+        rows = np.empty((pos.shape[0], Wk), dtype=U)
+        nm = main_sel.shape[0]
+        if Wk == 1:
+            # Word 0 always holds the first min(k, 32) bases left-aligned,
+            # whether the kmax packing used one word or two.
+            rows[:nm, 0] = main0[main_sel] & (ones << U(64 - 2 * k))
+        else:
+            rows[:nm, 0] = main0[main_sel]
+            rows[:nm, 1] = main1[main_sel] & (ones << U(128 - 2 * k))
+        if tail_sel.shape[0]:
+            wins = np.lib.stride_tricks.sliding_window_view(san, k)[tail_sel]
+            rows[nm:] = packedmod.pack(wins)
+        out[k] = (packedmod.canonicalize(rows, k), pos)
+    return out
+
+
 def kmer_counts_packed(
     packed_rows: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -19,6 +19,8 @@ first, exactly as the bytes path always has.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 #: Largest supported k: 63 bases fill 126 of 128 bits (two words); the
@@ -35,6 +37,27 @@ _SIXTYFOUR = _U(64)
 _ONES = _U(0xFFFFFFFFFFFFFFFF)
 _M2 = _U(0x3333333333333333)
 _M4 = _U(0x0F0F0F0F0F0F0F0F)
+
+
+#: Environment variable enabling sortedness re-checks in the presorted
+#: fast paths (``unique_counts(..., presorted=True)`` and the cache-served
+#: ``KmerTable`` constructors).  Off by default: the whole point of the
+#: fast paths is skipping the O(n log n) work, but under the flag a bad
+#: caller fails loudly instead of silently corrupting binary searches.
+DEBUG_SORTED_ENV = "REPRO_DEBUG_SORTED"
+
+
+def debug_assert_sorted_enabled() -> bool:
+    return bool(os.environ.get(DEBUG_SORTED_ENV))
+
+
+def assert_sorted(key_arr: np.ndarray) -> None:
+    """Raise if a 1-D key array is not in ascending order."""
+    if key_arr.shape[0] > 1 and bool(np.any(key_arr[1:] < key_arr[:-1])):
+        raise AssertionError(
+            "presorted fast path received unsorted keys "
+            f"(set via {DEBUG_SORTED_ENV})"
+        )
 
 
 def check_k(k: int) -> int:
@@ -222,13 +245,30 @@ def ints_to_packed(values: list[int], k: int) -> np.ndarray:
     return out
 
 
-def unique_counts(packed: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-    """Distinct rows (sorted in key order) and their multiplicities."""
+def unique_counts(
+    packed: np.ndarray, k: int, presorted: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct rows (sorted in key order) and their multiplicities.
+
+    ``presorted=True`` is the fast path for rows already in ascending key
+    order (e.g. streamed out of a shared :class:`~repro.assembly.sweep.
+    KmerSpectrum`): run-length boundaries replace the ``np.unique`` sort.
+    Sortedness is re-checked only under :data:`DEBUG_SORTED_ENV`.
+    """
     W = words_for(k)
     packed = np.asarray(packed, dtype=_U).reshape(-1, W)
     if packed.shape[0] == 0:
         return packed, np.zeros(0, dtype=np.int64)
     ks = keys(packed, k)
+    if presorted:
+        if debug_assert_sorted_enabled():
+            assert_sorted(ks)
+        boundary = np.empty(ks.shape[0], dtype=bool)
+        boundary[0] = True
+        boundary[1:] = ks[1:] != ks[:-1]
+        first = np.flatnonzero(boundary)
+        counts = np.diff(np.append(first, ks.shape[0])).astype(np.int64)
+        return packed[first], counts
     _, first, counts = np.unique(ks, return_index=True, return_counts=True)
     return packed[first], counts.astype(np.int64)
 

@@ -39,11 +39,61 @@ from repro.seq.fastq import FastqRecord
 from repro.seq.readstore import ReadStore
 
 
+def _distribute_and_count_fused(
+    world: SimWorld, spectrum, k: int, kind_prefix: str = ""
+) -> list[KmerTable]:
+    """Count-once twin of :func:`distribute_and_count`.
+
+    The shared :class:`~repro.assembly.sweep.KmerSpectrum` already holds
+    the full occurrence stream and the sorted distinct rows, so no rank
+    re-extracts or re-sorts anything.  Every virtual quantity is derived
+    instead of recomputed — per-rank extraction charges from the stripe
+    occupancy (read index mod p), the alltoall byte matrix from the
+    (stripe, owner) occurrence histogram, and each rank's shard from the
+    owner partition of the pre-sorted distinct rows — and is provably
+    equal to the recomputed path's: same stream lengths, same per-pair
+    payload sizes, same shard tables.
+    """
+    p = world.size
+    owners = spectrum.owners(p)
+    occ_rank = spectrum.occ_read() % p
+    occ_owner = owners[spectrum.inverse]
+    # (src rank, owner rank) occurrence histogram == the alltoall row
+    # counts of the recomputed path.
+    matrix = np.bincount(occ_rank * p + occ_owner, minlength=p * p).reshape(
+        p, p
+    )
+
+    with world.phase(f"{kind_prefix}kmer_extract", kind="kmer"):
+        for r in world.ranks():
+            world.charge(r, float(matrix[r].sum()))
+        send = [[int(matrix[r, dst]) for dst in range(p)] for r in range(p)]
+        # Same logical k-byte record charge per (src, dst) pair as the
+        # payload-carrying exchange below.
+        world.alltoall(send, nbytes_of=lambda c: int(c) * k)
+
+    with world.phase(f"{kind_prefix}kmer_count", kind="kmer"):
+        shards: list[KmerTable] = []
+        for r in world.ranks():
+            world.charge(r, float(matrix[:, r].sum()))
+            mine = owners == r
+            shard = build_kmer_table_packed(
+                k,
+                spectrum.distinct[mine],
+                spectrum.counts[mine],
+                presorted=True,
+            )
+            shards.append(shard)
+            world.record_memory(r, shard.memory_bytes())
+    return shards
+
+
 def distribute_and_count(
     world: SimWorld,
     reads: "ReadStore | list[FastqRecord]",
     k: int,
     kind_prefix: str = "",
+    spectrum=None,
 ) -> list[KmerTable]:
     """Shared first half of the MPI assemblers.
 
@@ -55,10 +105,21 @@ def distribute_and_count(
     is encoded once up front.  Each rank's stripe is gathered from the
     shared code arrays — the extracted k-mer stream is bit-identical to
     the historical per-read ``reads[r::p]`` path.
+
+    ``spectrum`` — a matching :class:`~repro.assembly.sweep.KmerSpectrum`
+    (same store digest, same k) — switches to the count-once fast path,
+    which replays the identical accounting from the shared precomputed
+    stream; a non-matching spectrum is ignored.
     """
     store = (
         reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
     )
+    if (
+        spectrum is not None
+        and spectrum.k == k
+        and spectrum.store_digest == store.digest
+    ):
+        return _distribute_and_count_fused(world, spectrum, k, kind_prefix)
     p = world.size
 
     with world.phase(f"{kind_prefix}kmer_extract", kind="kmer"):
@@ -121,12 +182,13 @@ class RayAssembler:
         store: ReadStore,
         params: AssemblyParams,
         n_ranks: int = 8,
+        spectrum=None,
     ) -> AssemblyResult:
         world = SimWorld(n_ranks)
         p = world.size
         k = params.k
 
-        shards = distribute_and_count(world, store, k)
+        shards = distribute_and_count(world, store, k, spectrum=spectrum)
 
         # Coverage threshold is applied locally on each shard.
         with world.phase("graph_build", kind="graph"):

@@ -1,0 +1,478 @@
+"""Count-once fused k-mer extraction shared across the multi-k sweep.
+
+The fan-out of :mod:`repro.core.multikmer` runs one assembly per
+(assembler, k) pair over the *same* :class:`~repro.seq.readstore.ReadStore`.
+PR 4 made the jobs share the encoded reads, but every job still extracted,
+canonicalized and sorted its k-mer stream from scratch — ``ray_k25``,
+``abyss_k25`` and ``contrail_k25`` each re-counted the identical 25-mer
+multiset, and every distinct k re-walked the same code array.
+
+This module eliminates that redundancy with two layers:
+
+* :func:`build_spectra` — **one pass** over the store's flat code array
+  produces a :class:`KmerSpectrum` for every k in the sweep, via
+  :func:`repro.assembly.kmers.fused_canonical_positions_packed`: the
+  array is packed once at the largest k and every smaller k is derived
+  by masking the packed words (plus the handful of read-tail windows the
+  largest k cannot reach).  Each spectrum holds the *sorted* distinct
+  canonical rows, their global counts, and the occurrence stream
+  (``inverse``/``read_offsets``/``rel_positions``) that maps every
+  N-free window back to its read and offset — enough to reconstruct any
+  assembler's per-k extraction, counting or partitioning bit-for-bit
+  without touching the codes again.
+
+* :class:`KmerTableCache` — a content-addressed registry keyed by
+  ``(store digest, k)`` so every workload that needs the k-mer table of
+  the same store resolves to the *same* spectrum (and its lazily derived
+  owner partitions), counting ``kmer_table.hit`` / ``kmer_table.miss`` /
+  ``kmer_table.bytes`` on the active tracer.
+
+Spectra follow the exact sharing discipline of :class:`ReadStore`: the
+arrays move into one shared-memory segment on first pickle, workers
+attach zero-copy, and the handle is O(1) in the data size.  The owner
+process must :meth:`KmerSpectrum.close` every spectrum it built.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterable
+
+import numpy as np
+
+from repro.assembly import kmers
+from repro.assembly import packed as packedmod
+from repro.assembly.dbg import KmerTable, build_kmer_table_packed
+from repro.obs import get_tracer
+from repro.seq.readstore import ReadStore, _attach_untracked, _cleanup_shm
+
+#: Attached/shared spectra by segment name — same dedup role as
+#: ``readstore._ATTACHED``: unpickling a handle in a process that already
+#: holds the segment returns the live spectrum instead of re-attaching.
+_ATTACHED: "weakref.WeakValueDictionary[str, KmerSpectrum]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+@dataclass(frozen=True)
+class KmerSpectrumHandle:
+    """O(1)-size pickle surrogate for a shared :class:`KmerSpectrum`."""
+
+    shm_name: str
+    k: int
+    store_digest: str
+    n_reads: int
+    n_distinct: int
+    n_occurrences: int
+
+
+def _attach(handle: KmerSpectrumHandle) -> "KmerSpectrum":
+    """Module-level unpickle hook (bound methods don't pickle portably)."""
+    return KmerSpectrum.attach(handle)
+
+
+def _layout_views(buf, n_reads: int, n_distinct: int, n_occ: int, W: int):
+    """The five arrays over one flat buffer (all 8-byte elements, so every
+    section is naturally aligned).  Returns
+    (read_offsets, counts, inverse, rel_positions, distinct)."""
+    off = 0
+    read_offsets = np.frombuffer(buf, dtype=np.int64, count=n_reads + 1, offset=off)
+    off += read_offsets.nbytes
+    counts = np.frombuffer(buf, dtype=np.int64, count=n_distinct, offset=off)
+    off += counts.nbytes
+    inverse = np.frombuffer(buf, dtype=np.int64, count=n_occ, offset=off)
+    off += inverse.nbytes
+    rel_positions = np.frombuffer(buf, dtype=np.int64, count=n_occ, offset=off)
+    off += rel_positions.nbytes
+    distinct = np.frombuffer(
+        buf, dtype=np.uint64, count=n_distinct * W, offset=off
+    ).reshape(n_distinct, W)
+    return read_offsets, counts, inverse, rel_positions, distinct
+
+
+class KmerSpectrum:
+    """The complete k-mer content of one store at one k, counted once.
+
+    * ``distinct`` — ``(n_distinct, W)`` canonical packed rows in
+      ascending key order (pre-sorted: tables built from them skip the
+      sort via the ``presorted`` fast path).
+    * ``counts`` — global multiplicity per distinct row.
+    * ``inverse`` — per *occurrence* (N-free window, in store extraction
+      order) the index of its distinct row: ``distinct[inverse]`` is
+      bit-identical to ``canonical_kmers_store_packed(store, k)``.
+    * ``read_offsets`` — occurrences of read ``i`` are the stream slice
+      ``[read_offsets[i], read_offsets[i+1])``.
+    * ``rel_positions`` — per occurrence, the window start offset within
+      its read (trimming filters need it).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        store_digest: str,
+        distinct: np.ndarray,
+        counts: np.ndarray,
+        inverse: np.ndarray,
+        read_offsets: np.ndarray,
+        rel_positions: np.ndarray,
+        shm: shared_memory.SharedMemory | None = None,
+        owns_shm: bool = False,
+    ) -> None:
+        packedmod.check_k(k)
+        self.k = k
+        self.words = packedmod.words_for(k)
+        self.store_digest = store_digest
+        self._distinct = distinct
+        self._counts = counts
+        self._inverse = inverse
+        self._read_offsets = read_offsets
+        self._rel_positions = rel_positions
+        self.n_reads = int(read_offsets.shape[0]) - 1
+        self.n_distinct = int(counts.shape[0])
+        self.n_occurrences = int(inverse.shape[0])
+        self._shm = shm
+        self._owns_shm = owns_shm
+        self._finalizer: weakref.finalize | None = None
+        if shm is not None:
+            self._finalizer = weakref.finalize(self, _cleanup_shm, shm, owns_shm)
+        # Lazily derived, per-process (never shipped): hash-partition
+        # owners per rank count, and the occurrence -> read map.
+        self._owners: dict[int, np.ndarray] = {}
+        self._occ_read: np.ndarray | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, store: ReadStore, k: int, rows: np.ndarray, positions: np.ndarray
+    ) -> "KmerSpectrum":
+        """Build from one k's fused extraction output (canonical rows +
+        global window start positions, both in extraction order)."""
+        key_arr = packedmod.keys(rows, k)
+        _, first, inverse, counts = np.unique(
+            key_arr, return_index=True, return_inverse=True, return_counts=True
+        )
+        distinct = np.ascontiguousarray(rows[first])
+        offsets = store.offsets
+        read_of = np.searchsorted(offsets, positions, side="right") - 1
+        per_read = np.bincount(read_of, minlength=store.n_reads)
+        read_offsets = np.zeros(store.n_reads + 1, dtype=np.int64)
+        np.cumsum(per_read, out=read_offsets[1:])
+        rel_positions = positions - offsets[read_of]
+        spectrum = cls(
+            k=k,
+            store_digest=store.digest,
+            distinct=distinct,
+            counts=counts.astype(np.int64),
+            inverse=inverse.astype(np.int64).ravel(),
+            read_offsets=read_offsets,
+            rel_positions=rel_positions.astype(np.int64),
+        )
+        for arr in (
+            spectrum._distinct,
+            spectrum._counts,
+            spectrum._inverse,
+            spectrum._read_offsets,
+            spectrum._rel_positions,
+        ):
+            arr.flags.writeable = False
+        return spectrum
+
+    @classmethod
+    def attach(cls, handle: KmerSpectrumHandle) -> "KmerSpectrum":
+        """Attach to an existing shared segment (zero-copy)."""
+        existing = _ATTACHED.get(handle.shm_name)
+        if existing is not None and not existing.closed:
+            return existing
+        shm = _attach_untracked(handle.shm_name)
+        views = _layout_views(
+            shm.buf,
+            handle.n_reads,
+            handle.n_distinct,
+            handle.n_occurrences,
+            packedmod.words_for(handle.k),
+        )
+        read_offsets, counts, inverse, rel_positions, distinct = views
+        for arr in views:
+            arr.flags.writeable = False
+        spectrum = cls(
+            k=handle.k,
+            store_digest=handle.store_digest,
+            distinct=distinct,
+            counts=counts,
+            inverse=inverse,
+            read_offsets=read_offsets,
+            rel_positions=rel_positions,
+            shm=shm,
+            owns_shm=False,
+        )
+        _ATTACHED[handle.shm_name] = spectrum
+        return spectrum
+
+    # -- sharing / lifecycle -------------------------------------------------
+
+    @property
+    def shared(self) -> bool:
+        return self._shm is not None
+
+    @property
+    def owns_shm(self) -> bool:
+        return self._owns_shm
+
+    @property
+    def closed(self) -> bool:
+        return self._counts is None
+
+    def share(self) -> KmerSpectrumHandle:
+        """Move the arrays into a shared-memory segment (idempotent) and
+        return the O(1) handle workers attach with."""
+        if self.closed:
+            raise ValueError("cannot share a closed KmerSpectrum")
+        if self._shm is None:
+            total = (
+                self._read_offsets.nbytes
+                + self._counts.nbytes
+                + self._inverse.nbytes
+                + self._rel_positions.nbytes
+                + self._distinct.nbytes
+            )
+            shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            views = _layout_views(
+                shm.buf,
+                self.n_reads,
+                self.n_distinct,
+                self.n_occurrences,
+                self.words,
+            )
+            read_offsets, counts, inverse, rel_positions, distinct = views
+            read_offsets[:] = self._read_offsets
+            counts[:] = self._counts
+            inverse[:] = self._inverse
+            rel_positions[:] = self._rel_positions
+            distinct[:] = self._distinct
+            for arr in views:
+                arr.flags.writeable = False
+            self._read_offsets, self._counts = read_offsets, counts
+            self._inverse, self._rel_positions = inverse, rel_positions
+            self._distinct = distinct
+            self._shm = shm
+            self._owns_shm = True
+            self._finalizer = weakref.finalize(self, _cleanup_shm, shm, True)
+            _ATTACHED[shm.name] = self
+        return self.handle()
+
+    def handle(self) -> KmerSpectrumHandle:
+        """Handle of an already-shared spectrum (see :meth:`share`)."""
+        if self._shm is None:
+            raise ValueError("KmerSpectrum is not shared; call share() first")
+        return KmerSpectrumHandle(
+            shm_name=self._shm.name,
+            k=self.k,
+            store_digest=self.store_digest,
+            n_reads=self.n_reads,
+            n_distinct=self.n_distinct,
+            n_occurrences=self.n_occurrences,
+        )
+
+    def close(self, unlink: bool | None = None) -> None:
+        """Release the shared segment (idempotent; double-close safe)."""
+        shm = self._shm
+        if shm is None:
+            return
+        if unlink is None:
+            unlink = self._owns_shm
+        self._shm = None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._distinct = self._counts = self._inverse = None
+        self._read_offsets = self._rel_positions = None
+        self._owners.clear()
+        self._occ_read = None
+        _cleanup_shm(shm, unlink)
+
+    def __reduce__(self):
+        return _attach, (self.share(),)
+
+    # -- array access --------------------------------------------------------
+
+    def _require_open(self, arr):
+        if arr is None:
+            raise ValueError("KmerSpectrum is closed")
+        return arr
+
+    @property
+    def distinct(self) -> np.ndarray:
+        """Distinct canonical rows, ``(n_distinct, W)``, ascending key order."""
+        return self._require_open(self._distinct)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Global multiplicity aligned with :attr:`distinct`."""
+        return self._require_open(self._counts)
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """Occurrence stream as indices into :attr:`distinct`."""
+        return self._require_open(self._inverse)
+
+    @property
+    def read_offsets(self) -> np.ndarray:
+        return self._require_open(self._read_offsets)
+
+    @property
+    def rel_positions(self) -> np.ndarray:
+        return self._require_open(self._rel_positions)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the spectrum arrays."""
+        return int(
+            self.distinct.nbytes
+            + self.counts.nbytes
+            + self.inverse.nbytes
+            + self.read_offsets.nbytes
+            + self.rel_positions.nbytes
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    def occ_read(self) -> np.ndarray:
+        """Read index of every occurrence (derived once per process)."""
+        if self._occ_read is None:
+            per_read = np.diff(self.read_offsets)
+            self._occ_read = np.repeat(
+                np.arange(self.n_reads, dtype=np.int64), per_read
+            )
+        return self._occ_read
+
+    def owners(self, n_ranks: int) -> np.ndarray:
+        """Hash-partition owner rank of every distinct row — identical to
+        :func:`repro.assembly.kmers.kmer_owner_packed`, computed once per
+        rank count and reused by every workload sharing this spectrum."""
+        got = self._owners.get(n_ranks)
+        if got is None:
+            got = kmers.kmer_owner_packed(self.distinct, self.k, n_ranks)
+            self._owners[n_ranks] = got
+        return got
+
+    def table(self) -> KmerTable:
+        """A fresh :class:`KmerTable` over the full spectrum (pre-sorted
+        fast path; the caller owns it and may ``drop_below`` freely)."""
+        return build_kmer_table_packed(
+            self.k, self.distinct, self.counts, presorted=True
+        )
+
+    def __repr__(self) -> str:
+        state = "shared" if self.shared else ("closed" if self.closed else "local")
+        return (
+            f"KmerSpectrum(k={self.k}, n_distinct={self.n_distinct}, "
+            f"n_occurrences={self.n_occurrences}, {state}, "
+            f"digest={self.store_digest[:12]}...)"
+        )
+
+
+def build_spectra(store: ReadStore, ks: Iterable[int]) -> tuple[KmerSpectrum, ...]:
+    """Fused count-once extraction: one pass over ``store.codes`` yields a
+    :class:`KmerSpectrum` per k, each bit-identical to the per-k path."""
+    ks = sorted({int(k) for k in ks})
+    if not ks:
+        return ()
+    fused = kmers.fused_canonical_positions_packed(store.codes, ks)
+    return tuple(
+        KmerSpectrum.from_rows(store, k, *fused[k]) for k in ks
+    )
+
+
+class KmerTableCache:
+    """Process-wide registry of spectra keyed by ``(store digest, k)``.
+
+    The cross-workload sharing point: the first unit that needs a
+    (store, k) table registers its spectrum (``kmer_table.miss`` +
+    ``kmer_table.bytes``), and every later unit — ``abyss_k25`` and
+    ``contrail_k25`` after ``ray_k25`` — resolves to the same object
+    (``kmer_table.hit``), reusing the sorted rows and any owner
+    partitions already derived instead of re-sorting per job.  Closed
+    spectra (owner freed the segment) drop out on lookup.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple[str, int], KmerSpectrum]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, spectrum: KmerSpectrum) -> KmerSpectrum:
+        """The registered spectrum for ``spectrum``'s (digest, k), or
+        ``spectrum`` itself after registering it."""
+        key = (spectrum.store_digest, spectrum.k)
+        with self._lock:
+            got = self._entries.get(key)
+            if got is not None and got.closed:
+                del self._entries[key]
+                got = None
+            if got is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self._entries[key] = spectrum
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                self.misses += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            if got is not None:
+                tracer.count("kmer_table.hit")
+            else:
+                tracer.count("kmer_table.miss")
+                tracer.count("kmer_table.bytes", spectrum.nbytes)
+        return got if got is not None else spectrum
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default, mirroring the assembly-cache discipline:
+#: resolution is bit-neutral (same digest => same spectrum content), so
+#: sharing across runs in one process is always safe.
+_DEFAULT_CACHE = KmerTableCache()
+_current: KmerTableCache | None = _DEFAULT_CACHE
+
+
+def get_kmer_table_cache() -> KmerTableCache | None:
+    """The active table cache, or None when disabled."""
+    return _current
+
+
+def set_kmer_table_cache(
+    cache: KmerTableCache | None,
+) -> KmerTableCache | None:
+    """Install ``cache`` (None disables); returns the previous one."""
+    global _current
+    previous = _current
+    _current = cache
+    return previous
+
+
+@contextmanager
+def use_kmer_table_cache(cache: KmerTableCache | None):
+    """Scoped :func:`set_kmer_table_cache` (None disables in the scope)."""
+    previous = set_kmer_table_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_kmer_table_cache(previous)

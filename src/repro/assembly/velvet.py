@@ -43,23 +43,35 @@ class VelvetAssembler:
         store: ReadStore,
         params: AssemblyParams,
         n_threads: int = 8,
+        spectrum=None,
     ) -> AssemblyResult:
         usage = ResourceUsage(n_ranks=1)
 
-        kmers = canonical_kmers_store_packed(store, params.k)
+        if (
+            spectrum is not None
+            and spectrum.k == params.k
+            and spectrum.store_digest == store.digest
+        ):
+            # Count-once fast path: the shared spectrum already holds the
+            # stream length and the sorted distinct rows + counts.
+            n_kmer_stream = spectrum.n_occurrences
+            table = spectrum.table()
+        else:
+            kmers = canonical_kmers_store_packed(store, params.k)
+            n_kmer_stream = int(kmers.shape[0])
+            table = build_kmer_table_packed(
+                params.k, *kmer_counts_packed(kmers, params.k)
+            )
         usage.add_phase(
             PhaseUsage(
                 name="kmer_count",
                 kind="kmer",
                 # k-mer counting multi-threads well on one node.
-                critical_compute=kmers.shape[0] / max(n_threads, 1),
-                total_compute=float(kmers.shape[0]),
+                critical_compute=n_kmer_stream / max(n_threads, 1),
+                total_compute=float(n_kmer_stream),
             )
         )
 
-        table = build_kmer_table_packed(
-            params.k, *kmer_counts_packed(kmers, params.k)
-        )
         table.drop_below(params.min_count)
         usage.peak_rank_memory_bytes = table.memory_bytes()
         usage.add_phase(

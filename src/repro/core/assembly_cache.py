@@ -80,16 +80,18 @@ class AssemblyCache:
             self.hits += 1
             return _copy_result(entry)
 
-    def put(self, key: CacheKey, result: AssemblyResult) -> None:
+    def put(self, key: CacheKey, result: AssemblyResult) -> bool:
         """Insert a raw result; an existing entry is kept (first write
-        wins — results for one key are identical by determinism)."""
+        wins — results for one key are identical by determinism).
+        Returns True when the result was inserted, False when kept."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                return
+                return False
             self._entries[key] = _copy_result(result)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+            return True
 
     def clear(self) -> None:
         with self._lock:

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from repro.assembly.base import AssemblyParams, assemble_encoded
 from repro.assembly.contigs import AssemblyResult
 from repro.assembly.registry import get_assembler
+from repro.assembly.sweep import KmerSpectrum, get_kmer_table_cache
+from repro.assembly.trinity import TRINITY_K
 from repro.cloud.instances import get_instance_type
 from repro.core.assembly_cache import get_assembly_cache
 from repro.core.scaling import paper_usage_from_scales
@@ -54,6 +56,15 @@ class AssemblyWorkload:
     ``use_cache`` is off) consults the content-addressed assembly cache
     before running.  ``reads`` is the legacy self-contained record tuple,
     kept for old callers and as the old-path baseline in benchmarks.
+
+    ``spectra`` carries the count-once fused extraction of
+    :mod:`repro.assembly.sweep`: shared :class:`KmerSpectrum` objects
+    (O(1) to pickle, like the store) from which the assembler's matching
+    k is served instead of re-extracted.  Resolution goes through the
+    process-wide :class:`~repro.assembly.sweep.KmerTableCache`, so
+    same-(store, k) workloads in one process share a single spectrum and
+    its derived tables/partitions.  Spectra never change results — only
+    wall time — so they are not part of the cache key.
     """
 
     assembler_name: str
@@ -64,6 +75,7 @@ class AssemblyWorkload:
     read_scale: float | None = None
     graph_scale: float | None = None
     use_cache: bool = True
+    spectra: tuple[KmerSpectrum, ...] = ()
 
     def __post_init__(self) -> None:
         if (self.store is None) == (self.reads is None):
@@ -80,6 +92,22 @@ class AssemblyWorkload:
             self.n_ranks,
         )
 
+    def _resolve_spectrum(self) -> "KmerSpectrum | None":
+        """This workload's spectrum (trinity always wants k=25), resolved
+        through the process-wide table cache for cross-unit sharing."""
+        if not self.spectra or self.store is None:
+            return None
+        want_k = TRINITY_K if self.assembler_name == "trinity" else self.params.k
+        for spectrum in self.spectra:
+            if (
+                spectrum.k == want_k
+                and spectrum.store_digest == self.store.digest
+                and not spectrum.closed
+            ):
+                cache = get_kmer_table_cache()
+                return cache.resolve(spectrum) if cache is not None else spectrum
+        return None
+
     def _assemble(self) -> AssemblyResult:
         assembler = get_assembler(self.assembler_name)
         kwargs = (
@@ -88,6 +116,9 @@ class AssemblyWorkload:
             else {}
         )
         if self.store is not None:
+            spectrum = self._resolve_spectrum()
+            if spectrum is not None:
+                kwargs["spectrum"] = spectrum
             return assemble_encoded(assembler, self.store, self.params, **kwargs)
         return assembler.assemble(list(self.reads), self.params, **kwargs)
 
@@ -103,7 +134,18 @@ class AssemblyWorkload:
             return
         cache = get_assembly_cache()
         if cache is not None:
-            cache.put(key, result)
+            inserted = cache.put(key, result)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("assembly_cache.put")
+                tracer.event(
+                    "assembly_cache.put",
+                    category="cache",
+                    assembler=self.assembler_name,
+                    k=self.params.k,
+                    n_ranks=self.n_ranks,
+                    outcome="inserted" if inserted else "kept",
+                )
 
     def __call__(self):
         tracer = get_tracer()
@@ -151,13 +193,16 @@ def make_assembly_workload(
     n_ranks: int,
     dataset=None,
     use_cache: bool = True,
+    spectra: tuple[KmerSpectrum, ...] = (),
 ) -> AssemblyWorkload:
     """Workload executing one real assembly; returns (result, usage).
 
     ``reads`` is ideally an already-built (shared) :class:`ReadStore`;
     a record list is encoded once here.  When ``dataset`` is given, only
     its two extrapolation ratios are captured — the workload stays cheap
-    to pickle."""
+    to pickle.  ``spectra`` optionally carries count-once
+    :class:`~repro.assembly.sweep.KmerSpectrum` objects; the one matching
+    the assembler's k (if any) serves extraction."""
 
     store = (
         reads if isinstance(reads, ReadStore) else ReadStore.from_reads(reads)
@@ -170,6 +215,7 @@ def make_assembly_workload(
         read_scale=None if dataset is None else dataset.read_scale,
         graph_scale=None if dataset is None else dataset.scale,
         use_cache=use_cache,
+        spectra=tuple(spectra),
     )
 
 
@@ -183,13 +229,17 @@ def assembly_unit_descriptions(
     input_bytes: int | None = None,
     use_cache: bool = True,
     max_restarts: int = 0,
+    spectra: tuple[KmerSpectrum, ...] = (),
 ) -> list[UnitDescription]:
     """One UnitDescription per (assembler, k) job in the plan.
 
     ``dataset`` provides the paper-scale extrapolation factors; workloads
     hand back already-extrapolated usage, so units carry ``scale=1``.
     The reads are encoded exactly once — every unit's workload shares the
-    same :class:`ReadStore`.
+    same :class:`ReadStore`.  ``spectra`` (see :func:`build_spectra`)
+    additionally extracts/counts k-mers exactly once per k: each unit's
+    workload receives only the spectrum matching its job's k, so
+    spectra for other k values are never pickled to that unit's worker.
 
     Every unit carries a ``checkpoint_key`` — the same content address
     the assembly cache uses, ``(store digest, assembler, params,
@@ -211,6 +261,12 @@ def assembly_unit_descriptions(
             min_contig_length=max(min_contig_length, k),
         )
         cores = nodes * itype.vcpus
+        want_k = TRINITY_K if assembler == "trinity" else k
+        job_spectra = tuple(
+            sp
+            for sp in spectra
+            if sp.k == want_k and sp.store_digest == store.digest
+        )
         descs.append(
             UnitDescription(
                 name=f"{assembler}_k{k}",
@@ -221,6 +277,7 @@ def assembly_unit_descriptions(
                     cores,
                     dataset=dataset,
                     use_cache=use_cache,
+                    spectra=job_spectra,
                 ),
                 cores=cores,
                 memory_bytes=task_memory_bytes(spec, "assembly", n_nodes=1),
@@ -241,6 +298,10 @@ def collect_assembly_results(units) -> dict[tuple[str, int], AssemblyResult]:
     Also records each collected raw result into the assembly cache (see
     :meth:`AssemblyWorkload.record_result`) so results computed inside
     pool workers are available as parent-side hits for later sweeps.
+
+    Raises :class:`ValueError` when two finished units map to the same
+    ``(assembler, k)`` key — a silent overwrite here would drop one
+    unit's contigs and usage from the merge without any signal.
     """
     out: dict[tuple[str, int], AssemblyResult] = {}
     for u in units:
@@ -249,5 +310,10 @@ def collect_assembly_results(units) -> dict[tuple[str, int], AssemblyResult]:
             if isinstance(work, AssemblyWorkload):
                 work.record_result(u.result)
             key = (u.description.tags["assembler"], u.description.tags["k"])
+            if key in out:
+                raise ValueError(
+                    f"duplicate assembly result for {key!r}: unit "
+                    f"{u.description.name!r} collides with an earlier unit"
+                )
             out[key] = u.result
     return out

@@ -14,6 +14,12 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.assembly.contigs import AssemblyResult, Contig
+from repro.assembly.sweep import (
+    KmerSpectrum,
+    build_spectra,
+    get_kmer_table_cache,
+)
+from repro.assembly.trinity import TRINITY_K
 from repro.cloud.clock import EventQueue, SimClock
 from repro.cloud.cluster import Cluster, build_cluster
 from repro.cloud.ec2 import EC2Region
@@ -24,14 +30,23 @@ from repro.core import multikmer
 from repro.core.checkpoint import CheckpointStore
 from repro.core.memory import task_memory_bytes
 from repro.core.planner import AssemblyPlan, plan_assembly, select_kmer_list
-from repro.core.preprocess import PreprocessParams, PreprocessResult, preprocess
+from repro.core.preprocess import (
+    PreprocessParams,
+    PreprocessResult,
+    PreprocessWorkload,
+    preprocess,
+)
 from repro.core.merge import MergeResult, merge_contigs
 from repro.core.quantify import QuantificationResult, quantify
 from repro.core.schemes import MatchingScheme
 from repro.core.workflow import StageReport, WorkflowPattern
 from repro.obs import Tracer, get_tracer, use_tracer
 from repro.parallel.costmodel import CostModel
-from repro.parallel.executor import WorkloadExecutor, make_executor
+from repro.parallel.executor import (
+    ProcessExecutor,
+    WorkloadExecutor,
+    make_executor,
+)
 from repro.pilot.db import StateStore
 from repro.pilot.description import PilotDescription, UnitDescription
 from repro.pilot.elastic import ElasticPool
@@ -78,6 +93,12 @@ class PipelineConfig:
     #: (bit-identical hits; see repro.core.assembly_cache).  Off only for
     #: benchmarking the uncached path.
     assembly_cache: bool = True
+    #: Count-once multi-k fusion (see repro.assembly.sweep): extract and
+    #: count k-mers exactly once per (store, k) across the whole fan-out
+    #: and serve every assembler from the shared spectra.  Results,
+    #: usage and virtual TTCs are bit-identical either way; off only for
+    #: benchmarking the per-job re-extraction path.
+    fused_extraction: bool = True
     #: Seconds between RSS/CPU samples taken *inside* fan-out workloads
     #: running on a pool backend (shipped back in the worker trace and
     #: exported as Perfetto counter tracks).  0 keeps only the
@@ -224,7 +245,82 @@ class RnnotatorPipeline:
                 return self._run(dataset, config)
         return self._run(dataset, config)
 
-    def _run(self, dataset: Dataset, config: PipelineConfig | None) -> PipelineResult:
+    def run_many(
+        self,
+        datasets: list[Dataset],
+        config: PipelineConfig | None = None,
+        overlap: bool = True,
+    ) -> list[PipelineResult]:
+        """Run several datasets back-to-back with cross-run stage overlap.
+
+        All runs share one executor backend.  With ``overlap`` on and a
+        backend whose ``supports_overlap`` holds (thread/process pools),
+        dataset ``i+1``'s pre-processing is submitted to the pool while
+        dataset ``i``'s assembly fan-out is still in flight
+        (:class:`~repro.core.preprocess.PreprocessWorkload`), and run
+        ``i+1`` consumes the prefetched outcome instead of recomputing.
+        Pre-processing is deterministic, so every run's results, usage
+        and virtual TTCs are bit-identical to sequential :meth:`run`
+        calls; only real wall time shrinks.  Each consuming run records
+        a ``preprocess.prefetch`` span whose *real* interval is the
+        worker-side execution window — trace evidence that stage i+1's
+        preprocessing overlapped stage i's assembly.
+        """
+        if self.tracer is not None:
+            with use_tracer(self.tracer):
+                return self._run_many(datasets, config, overlap)
+        return self._run_many(datasets, config, overlap)
+
+    def _run_many(
+        self,
+        datasets: list[Dataset],
+        config: PipelineConfig | None,
+        overlap: bool,
+    ) -> list[PipelineResult]:
+        config = config or PipelineConfig()
+        executor = make_executor(config.executor, config.executor_workers)
+        # The runs share the executor instance; _run only closes
+        # backends it constructed itself (string specs), so the pool —
+        # and any prefetch in flight on it — survives across runs.
+        shared = replace(config, executor=executor)
+        own_backend = isinstance(config.executor, str)
+        can_overlap = overlap and executor.supports_overlap
+        pending: list = [None]  # prefetch handle for the next dataset
+        results: list[PipelineResult] = []
+        try:
+            for i, dataset in enumerate(datasets):
+                prepared, pending[0] = pending[0], None
+                hook = None
+                if can_overlap and i + 1 < len(datasets):
+                    nxt = datasets[i + 1]
+
+                    def hook(nxt=nxt):
+                        work = PreprocessWorkload(
+                            reads=tuple(nxt.run.all_reads()),
+                            params=shared.preprocess_params,
+                        )
+                        pending[0] = executor.submit(work)
+
+                results.append(
+                    self._run(
+                        dataset,
+                        shared,
+                        prepared_pre=prepared,
+                        on_assembly_inflight=hook,
+                    )
+                )
+        finally:
+            if own_backend:
+                executor.shutdown()
+        return results
+
+    def _run(
+        self,
+        dataset: Dataset,
+        config: PipelineConfig | None,
+        prepared_pre=None,
+        on_assembly_inflight=None,
+    ) -> PipelineResult:
         config = config or PipelineConfig()
         spec = dataset.spec
 
@@ -330,6 +426,30 @@ class RnnotatorPipeline:
         um.add_pilot(pa)
 
         def pre_work():
+            if prepared_pre is not None:
+                outcome = prepared_pre.outcome()
+                if outcome.ok:
+                    result, pr0, pr1 = outcome.result
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        # The span's *real* interval is the worker-side
+                        # execution window — it overlaps the previous
+                        # run's assembly stage, which is the whole point.
+                        # Virtually it is instantaneous: the prefetch
+                        # changes no virtual quantity.
+                        vnow = clock.now
+                        tracer.add_span(
+                            "preprocess.prefetch",
+                            v_start=vnow,
+                            v_end=vnow,
+                            category="overlap",
+                            r_start=pr0,
+                            r_end=pr1,
+                            stage="pre-processing",
+                        )
+                    return result, outcome.usage
+                # A failed prefetch is only a lost optimization: fall
+                # through and compute inline, bit-identically.
             result = preprocess(all_reads, config.preprocess_params)
             return result, result.usage
 
@@ -442,12 +562,15 @@ class RnnotatorPipeline:
         # workloads are picklable AssemblyWorkload callables, so any
         # executor backend (thread/process pool) can spread them over
         # the host's cores.
+        assembly_executor = make_executor(
+            config.executor, config.executor_workers
+        )
         umb = UnitManager(
             db,
             events,
             scheduler=MemoryAwareScheduler(),
             cost_model=self.cost_model,
-            executor=make_executor(config.executor, config.executor_workers),
+            executor=assembly_executor,
             resource_cadence=config.resource_cadence,
             checkpoint=ckpt,
             elastic=elastic,
@@ -458,6 +581,32 @@ class RnnotatorPipeline:
         # shares this store (and, under the process backend, attaches to
         # its shared-memory segment instead of unpickling record tuples).
         store = ReadStore.from_reads(pre.reads)
+        # Count-once fusion: one fused pass extracts and counts every k
+        # the plan needs (trinity always consumes k=25); each fan-out
+        # unit is served from the spectrum matching its job's k.
+        spectra: tuple[KmerSpectrum, ...] = ()
+        if config.fused_extraction:
+            ks = sorted(
+                {
+                    TRINITY_K if a == "trinity" else k
+                    for a, k, _ in plan.jobs()
+                }
+            )
+            spectra = build_spectra(store, ks)
+            # Register parent-side so every workload resolve — in this
+            # process or a forked pool worker — is a hit; counters stay
+            # deterministic regardless of unit-to-worker assignment.
+            table_cache = get_kmer_table_cache()
+            if table_cache is not None:
+                spectra = tuple(table_cache.resolve(sp) for sp in spectra)
+            if isinstance(assembly_executor, ProcessExecutor):
+                # Move every spectrum into shared memory BEFORE the pool's
+                # first submit forks its workers: forked workers then find
+                # the live segments in the attach registry they inherited
+                # instead of re-attaching, which keeps the (process-wide)
+                # resource tracker's bookkeeping balanced.
+                for sp in spectra:
+                    sp.share()
         descs = multikmer.assembly_unit_descriptions(
             plan,
             spec,
@@ -467,10 +616,15 @@ class RnnotatorPipeline:
             min_contig_length=config.min_contig_length,
             use_cache=config.assembly_cache,
             max_restarts=config.unit_max_restarts,
+            spectra=spectra,
         )
         t0 = clock.now
         w0 = time.perf_counter()
         units = umb.submit_units(descs)
+        if on_assembly_inflight is not None:
+            # Cross-run overlap hook: the next dataset's pre-processing
+            # goes onto the shared pool here, racing the fan-out below.
+            on_assembly_inflight()
         try:
             umb.run(units)
         except UnitFailureError as exc:
@@ -481,6 +635,8 @@ class RnnotatorPipeline:
         finally:
             if isinstance(config.executor, str):
                 umb.close()  # the pipeline owns backends it created
+            for sp in spectra:
+                sp.close()  # unlinks shared spectrum segments, if any
             store.close()  # unlinks the shared segment iff one was created
         failed = [u for u in units if u.state is not UnitState.DONE]
         if failed:

@@ -8,6 +8,8 @@
 * a virtual-vs-real breakdown by span category;
 * the top-k hottest phases by charged critical-path compute (from the
   ``phase`` events the usage layer emits);
+* the caching scorecard (count-once k-mer table reuse and the
+  content-addressed assembly cache, from their tracer counters);
 * the metrics snapshot.
 
 ``--chrome out.json`` additionally converts the trace to Chrome
@@ -130,6 +132,42 @@ def hottest_phases(records: Iterable[dict], top: int = 10) -> str:
     return "\n".join(rows)
 
 
+def cache_scorecard(records: Iterable[dict]) -> str:
+    """Hit/miss scorecard of the two content-addressed caches.
+
+    Mirrors the ``kmer_table.*`` counters of the count-once fusion layer
+    (:mod:`repro.assembly.sweep`) and the ``assembly_cache.*`` counters
+    (lookups plus parent-side ``put`` recording) from the metrics
+    snapshot into a first-class report section."""
+    metrics = next(
+        (r["data"] for r in records if r.get("type") == "metrics"), None
+    )
+    if not metrics:
+        return ""
+    counters = metrics.get("counters", {})
+    rows = []
+    for label, prefix, extra in (
+        ("kmer table cache", "kmer_table", [("bytes cached", "bytes")]),
+        ("assembly cache", "assembly_cache", [("puts", "put")]),
+    ):
+        hits = counters.get(f"{prefix}.hit", 0.0)
+        misses = counters.get(f"{prefix}.miss", 0.0)
+        cells = [f"hits {hits:g}", f"misses {misses:g}"]
+        if hits + misses:
+            cells.append(f"hit rate {hits / (hits + misses):.0%}")
+        for name, suffix in extra:
+            value = counters.get(f"{prefix}.{suffix}")
+            if value is not None:
+                cells.append(f"{name} {value:g}")
+        if hits or misses or any(
+            counters.get(f"{prefix}.{suffix}") for _, suffix in extra
+        ):
+            rows.append(f"  {label:18s} {'  '.join(cells)}")
+    if not rows:
+        return ""
+    return "\n".join(["cache scorecard:"] + rows)
+
+
 def build_report(records: list[dict], top: int = 10) -> str:
     """The full plain-text run report."""
     sections = [
@@ -137,6 +175,7 @@ def build_report(records: list[dict], top: int = 10) -> str:
         process_timelines(records),
         virtual_vs_real(records),
         hottest_phases(records, top=top),
+        cache_scorecard(records),
         text_summary(records, top=top),
     ]
     return "\n\n".join(s for s in sections if s)

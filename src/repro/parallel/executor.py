@@ -194,6 +194,14 @@ class WorkloadExecutor(ABC):
     #: Backend name, as accepted by :func:`make_executor`.
     name: str = "?"
 
+    #: Whether ``submit`` returns before the workload runs, so separately
+    #: submitted workloads genuinely execute concurrently.  Cross-stage
+    #: pipeline overlap (prefetching the next dataset's pre-processing
+    #: while an assembly fan-out is in flight) is only attempted on
+    #: backends where this holds — the serial backend runs workloads
+    #: inline at submit time, so "overlap" there would just reorder work.
+    supports_overlap: bool = False
+
     @abstractmethod
     def submit(
         self, work: Workload, context: SpanContext | None = None
@@ -253,6 +261,8 @@ class _PoolExecutor(WorkloadExecutor):
     The pool is created lazily on first submit so that merely
     constructing a manager with a parallel backend costs nothing.
     """
+
+    supports_overlap = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers or self._default_workers()

@@ -175,6 +175,46 @@ class MapReduceEngine:
         )
         return output
 
+    def record_job(
+        self, stats: MRJobStats, peak_partition_bytes: int = 0
+    ) -> None:
+        """Account one job whose statistics were *derived* instead of
+        executed.
+
+        The count-once fast path (:mod:`repro.assembly.sweep`) can
+        reproduce a job's exact measured statistics from a shared
+        precomputed k-mer spectrum without streaming a single record
+        through the engine.  This entry point books such a job with the
+        identical observable footprint of :meth:`run`: the ``mr:<name>``
+        span and ``mr_jobs`` counter, the :class:`MRJobStats` entry, the
+        reducer-memory peak, and the priced :class:`PhaseUsage`.
+        """
+        n = self.n_workers
+        with get_tracer().span(
+            f"mr:{stats.name}", category="mapreduce", n_workers=n
+        ) as sp:
+            sp.set(
+                map_input_records=stats.map_input_records,
+                map_output_records=stats.map_output_records,
+                shuffle_bytes=stats.shuffle_bytes,
+                reduce_input_groups=stats.reduce_input_groups,
+                reduce_output_records=stats.reduce_output_records,
+            )
+        get_tracer().count("mr_jobs")
+        self.job_stats.append(stats)
+        self._peak_memory = max(self._peak_memory, peak_partition_bytes)
+        self._usage.add_phase(
+            PhaseUsage(
+                name=stats.name,
+                kind="mr_job",
+                critical_compute=(stats.map_work + stats.reduce_work) / n,
+                total_compute=stats.map_work + stats.reduce_work,
+                comm_bytes=stats.shuffle_bytes,
+                n_collectives=1,
+                n_jobs=1,
+            )
+        )
+
     def chain(
         self, jobs: Iterable[MRJob], records: Sequence[KV]
     ) -> list[KV]:

@@ -122,6 +122,33 @@ def _unregister_tracker(name: str) -> None:
         pass
 
 
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without resource-tracker registration.
+
+    Register-then-unregister (the pre-3.13 workaround above) is racy
+    when fork-pool workers share the parent's tracker: the tracker's
+    per-type cache is a *set*, so interleaved attach pairs from two
+    workers collapse into one entry and the surplus unregister — or the
+    owner's eventual unlink — dies with a ``KeyError`` inside the
+    tracker process.  Suppressing the registration instead keeps the
+    owner's create/unlink pair the only bookkeeping the tracker ever
+    sees, however many processes attach and whenever they forked.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **kw: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except Exception:
+        shm = shared_memory.SharedMemory(name=name)
+        _unregister_tracker(shm.name)
+        return shm
+
+
 def _layout_views(
     buf, n_reads: int, n_code_bytes: int, n_id_bytes: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -220,8 +247,7 @@ class ReadStore:
         existing = _ATTACHED.get(handle.shm_name)
         if existing is not None and not existing.closed:
             return existing
-        shm = shared_memory.SharedMemory(name=handle.shm_name)
-        _unregister_tracker(shm.name)
+        shm = _attach_untracked(handle.shm_name)
         offsets, id_offsets, codes, quals, id_bytes = _layout_views(
             shm.buf, handle.n_reads, handle.n_code_bytes, handle.n_id_bytes
         )

@@ -7,6 +7,7 @@ from repro.obs import Tracer, write_jsonl
 from repro.obs.export import chrome_trace
 from repro.obs.report import (
     build_report,
+    cache_scorecard,
     hottest_phases,
     main,
     process_timelines,
@@ -94,6 +95,37 @@ class TestSections:
         assert stage_table([]) == ""
         assert process_timelines([]) == ""
         assert "0 spans" in build_report([])
+
+    def test_cache_scorecard_mirrors_counters(self):
+        records = [
+            {
+                "type": "metrics",
+                "data": {
+                    "counters": {
+                        "kmer_table.hit": 6,
+                        "kmer_table.miss": 2,
+                        "kmer_table.bytes": 1_234_567,
+                        "assembly_cache.hit": 3,
+                        "assembly_cache.miss": 5,
+                        "assembly_cache.put": 5,
+                    }
+                },
+            }
+        ]
+        text = cache_scorecard(records)
+        assert "kmer table cache" in text
+        assert "hits 6" in text and "misses 2" in text
+        assert "hit rate 75%" in text
+        assert "bytes cached 1.23457e+06" in text
+        assert "assembly cache" in text and "puts 5" in text
+        assert "cache scorecard" in build_report(records)
+
+    def test_cache_scorecard_empty_without_counters(self):
+        assert cache_scorecard([]) == ""
+        assert (
+            cache_scorecard([{"type": "metrics", "data": {"counters": {}}}])
+            == ""
+        )
 
 
 def golden_records() -> list[dict]:
