@@ -89,6 +89,7 @@ class Cluster:
             raise ClusterError(
                 f"cluster is {self.itype.name}; cannot adopt {vm.itype.name}"
             )
+        vm.label = self.name
         self.vms.append(vm)
         self.scheduler.slots_total[vm.vm_id] = vm.itype.vcpus
         self.scheduler.slots_free[vm.vm_id] = vm.itype.vcpus
@@ -147,6 +148,8 @@ def build_cluster(
         raise ClusterError("n_nodes must be >= 1")
     t0 = region.clock.now
     vms = region.run_instances(itype, n_nodes)
+    for vm in vms:
+        vm.label = name
     region.clock.advance(setup_seconds)
     tracer = get_tracer()
     if tracer.enabled:
@@ -171,5 +174,6 @@ def cluster_from_vms(
     for vm in vms:
         if vm.state is not VMState.RUNNING:
             raise ClusterError(f"{vm.vm_id} is not running")
+        vm.label = name
     scheduler = SGEScheduler(events, {vm.vm_id: vm.itype.vcpus for vm in vms})
     return Cluster(name=name, vms=vms, scheduler=scheduler, events=events)

@@ -143,6 +143,8 @@ class EC2Region:
                 category="cloud",
                 process="ec2",
                 thread=vm.vm_id,
+                vm_id=vm.vm_id,
+                pilot=vm.label,
                 instance_type=vm.itype.name,
                 hours_billed=line.hours_billed,
                 cost_usd=line.cost,
@@ -173,6 +175,8 @@ class EC2Region:
                 category="cloud",
                 process="ec2",
                 thread=vm.vm_id,
+                vm_id=vm.vm_id,
+                pilot=vm.label,
                 instance_type=vm.itype.name,
                 hours_billed=line.hours_billed,
                 cost_usd=line.cost,

@@ -36,6 +36,9 @@ class VM:
     #: True when the cloud reclaimed this VM (spot preemption) rather
     #: than the user terminating it.
     preempted: bool = False
+    #: Which cluster/pilot this VM serves (set by the cluster layer so
+    #: billing spans can be attributed to a pilot); ``None`` until bound.
+    label: str | None = None
     _reserved_bytes: int = field(default=0, repr=False)
 
     def mark_running(self, now: float) -> None:

@@ -10,6 +10,7 @@ per-stage TTC and the run's dollar cost exactly like §IV.C's sample run.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 
@@ -29,7 +30,12 @@ from repro.cloud.storage import TransferModel
 from repro.core import multikmer
 from repro.core.checkpoint import CheckpointStore
 from repro.core.memory import task_memory_bytes
-from repro.core.planner import AssemblyPlan, plan_assembly, select_kmer_list
+from repro.core.planner import (
+    AssemblyPlan,
+    plan_assembly,
+    predict_run,
+    select_kmer_list,
+)
 from repro.core.preprocess import (
     PreprocessParams,
     PreprocessResult,
@@ -123,6 +129,32 @@ class PipelineConfig:
     #: named stage completes — the simulated driver kill the CI chaos
     #: job uses to exercise checkpoint/resume.
     abort_after_stage: str | None = None
+
+    def fingerprint(self) -> str:
+        """Stable digest of the result-determining knobs.
+
+        Two runs with equal fingerprints on the same dataset are
+        comparable (the run ledger's regression check refuses to compare
+        across differing fingerprints).  Execution-mechanics knobs that
+        cannot change results — executor backend, caching, checkpoint
+        directory, failure injection — are deliberately excluded.
+        """
+        key = repr(
+            (
+                self.assemblers,
+                self.scheme.value,
+                self.workflow.value,
+                self.instance_type,
+                self.mpi_nodes_per_job,
+                self.contrail_nodes_per_job,
+                self.max_nodes,
+                self.min_count,
+                self.min_contig_length,
+                self.kmer_list,
+                self.preprocess_params,
+            )
+        )
+        return hashlib.sha256(key.encode()).hexdigest()[:16]
 
     def __post_init__(self) -> None:
         if not self.assemblers:
@@ -519,6 +551,20 @@ class RnnotatorPipeline:
             contrail_nodes_per_job=config.contrail_nodes_per_job,
             max_nodes=config.max_nodes,
         )
+        # Price the rest of the run up front from spec + plan alone; the
+        # prediction rides on the pipeline span so trace analytics
+        # (repro.obs.attribution) can gate predicted-vs-actual TTC/cost.
+        prediction = predict_run(
+            spec,
+            plan,
+            pre.modal_read_length,
+            reuses_vms=config.scheme.reuses_vms,
+            pa_instance_type=pa_itype,
+            cost_model=self.cost_model,
+            wan_bandwidth=transfers.wan_bandwidth,
+            lan_bandwidth=transfers.lan_bandwidth,
+            provision_seconds=region.provision_seconds,
+        )
 
         # ---- pilot P_B: transcript assembly --------------------------------
         pb = pm.submit(PilotDescription("P_B", pb_itype, n_nodes=plan.n_nodes))
@@ -581,6 +627,7 @@ class RnnotatorPipeline:
         # shares this store (and, under the process backend, attaches to
         # its shared-memory segment instead of unpickling record tuples).
         store = ReadStore.from_reads(pre.reads)
+        store_digest = store.digest
         # Count-once fusion: one fused pass extracts and counts every k
         # the plan needs (trinity always consumes k=25); each fan-out
         # unit is served from the spectrum matching its job's k.
@@ -810,6 +857,14 @@ class RnnotatorPipeline:
                 scheme=config.scheme.value,
                 workflow=config.workflow.value,
                 total_cost_usd=region.total_cost,
+                config_fingerprint=config.fingerprint(),
+                store_digest=store_digest,
+                kmer_list=list(kmer_list),
+                n_nodes=plan.n_nodes,
+                instance_type=plan.instance_type,
+                planner_ttc_s=prediction.ttc_s,
+                planner_cost_usd=prediction.cost_usd,
+                planner_stages=prediction.as_dict()["stages"],
             )
 
         return PipelineResult(

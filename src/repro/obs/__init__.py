@@ -57,10 +57,39 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
+# The trace-analytics CLIs (critpath, attribution, ledger) are also
+# importable from the package root, but lazily: eager imports here would
+# put them in sys.modules before ``python -m repro.obs.<cli>`` executes
+# them, tripping runpy's double-import warning on every CLI run.
+_LAZY_EXPORTS = {
+    "CostAttribution": "repro.obs.attribution",
+    "attribute_costs": "repro.obs.attribution",
+    "CriticalPath": "repro.obs.critpath",
+    "compute_critical_path": "repro.obs.critpath",
+    "what_if": "repro.obs.critpath",
+    "RunLedger": "repro.obs.ledger",
+    "build_record": "repro.obs.ledger",
+    "check_regressions": "repro.obs.ledger",
+    "pipeline_ttc": "repro.obs.spans",
+    "stage_times": "repro.obs.spans",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
 __all__ = [
     "BufferingTracer",
     "CadenceSampler",
+    "CostAttribution",
     "Counter",
+    "CriticalPath",
     "EventRecord",
     "Gauge",
     "Histogram",
@@ -68,20 +97,28 @@ __all__ = [
     "NullTracer",
     "ResourceSample",
     "ResourceSampler",
+    "RunLedger",
     "SpanContext",
     "SpanRecord",
     "Tracer",
     "VirtualClockFormatter",
     "WorkerTrace",
+    "attribute_costs",
+    "build_record",
+    "check_regressions",
     "chrome_trace",
+    "compute_critical_path",
     "get_tracer",
     "load_jsonl",
     "logging_setup",
     "merge_worker_trace",
+    "pipeline_ttc",
     "set_thread_tracer",
     "set_tracer",
+    "stage_times",
     "text_summary",
     "use_tracer",
+    "what_if",
     "worker_track",
     "write_chrome",
     "write_jsonl",

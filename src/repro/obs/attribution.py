@@ -1,0 +1,510 @@
+"""Dollar and node-second attribution from billing spans + intervals.
+
+Joins the per-VM billing spans (``vm.lifetime``, stamped with ``vm_id``,
+``pilot`` and ``cost_usd`` by :mod:`repro.cloud.ec2`) against the trace's
+interval structure to answer the paper's economic question per run:
+*where did the money go?*  Each VM's uptime is partitioned into buckets
+— its own provisioning window, cluster setup, each pipeline stage, and
+explicit idle remainder — and its dollars are split pro rata by time, so
+bucket dollars sum back to the billing total.  The assembly stage is
+further subdivided per ``(assembler, k)`` by exec-span node-seconds,
+with cache hit/miss provenance from the ``assembly_cache.lookup``
+events.
+
+The same module hosts the planner gate: the pipeline span carries the
+:func:`repro.core.planner.predict_run` prediction made *before* the
+fan-out ran (``planner_ttc_s`` / ``planner_cost_usd``), and
+:func:`planner_violations` checks it against the trace's actuals with
+relative tolerances, in the style of :mod:`repro.obs.diff` — exit 2 for
+structural problems (no prediction on the trace), exit 1 for a blown
+tolerance.
+
+CLI::
+
+    python -m repro.obs.attribution trace.jsonl
+    python -m repro.obs.attribution trace.jsonl --json
+    python -m repro.obs.attribution trace.jsonl --planner-gate \\
+        --ttc-rel 0.10 --cost-rel 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .critpath import compute_critical_path
+from .export import load_jsonl
+from .spans import events_of, pipeline_span, spans_of, stage_name
+
+#: Bucket labels for non-stage VM time.
+PROVISION = "provision"
+SETUP = "cluster-setup"
+IDLE = "idle"
+
+
+@dataclass
+class VMAttribution:
+    """One VM's billed dollars split over time buckets."""
+
+    vm_id: str
+    pilot: str | None
+    instance_type: str
+    v_start: float
+    v_end: float
+    cost_usd: float
+    preempted: bool = False
+    #: bucket label -> seconds of this VM's uptime (partition: sums to
+    #: ``uptime_s`` up to float error).
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def uptime_s(self) -> float:
+        return self.v_end - self.v_start
+
+    def dollars(self) -> dict[str, float]:
+        """bucket -> USD, pro rata by time; sums back to ``cost_usd``
+        within float round-off (the largest bucket absorbs the
+        pro-rata residual)."""
+        if not self.seconds or self.uptime_s <= 0:
+            return {IDLE: self.cost_usd}
+        out = {
+            label: self.cost_usd * secs / self.uptime_s
+            for label, secs in self.seconds.items()
+        }
+        largest = max(out, key=lambda k: out[k])
+        out[largest] = self.cost_usd - sum(
+            v for k, v in out.items() if k != largest
+        )
+        return out
+
+
+@dataclass
+class AssemblyJobCost:
+    """One fan-out job's share of the assembly-stage spend."""
+
+    assembler: str
+    k: int | None
+    nodes: int
+    node_seconds: float
+    cost_usd: float
+    cache: str | None = None  # "hit" | "miss" | None (cache disabled)
+
+
+@dataclass
+class CostAttribution:
+    """The full per-run cost table."""
+
+    total_usd: float
+    billed_usd: float  # from the pipeline span, for cross-checking
+    vms: list[VMAttribution]
+    by_bucket: dict[str, float]  # bucket -> USD across all VMs
+    node_seconds_by_bucket: dict[str, float]
+    assembly_jobs: list[AssemblyJobCost]
+    by_pilot: dict[str, float]
+
+    def as_dict(self) -> dict:
+        return {
+            "total_usd": self.total_usd,
+            "billed_usd": self.billed_usd,
+            "by_bucket_usd": {
+                k: round(v, 6) for k, v in self.by_bucket.items()
+            },
+            "node_seconds_by_bucket": {
+                k: round(v, 3)
+                for k, v in self.node_seconds_by_bucket.items()
+            },
+            "by_pilot_usd": {
+                k: round(v, 6) for k, v in self.by_pilot.items()
+            },
+            "vms": [
+                {
+                    "vm_id": vm.vm_id,
+                    "pilot": vm.pilot,
+                    "instance_type": vm.instance_type,
+                    "uptime_s": round(vm.uptime_s, 3),
+                    "cost_usd": vm.cost_usd,
+                    "preempted": vm.preempted,
+                    "buckets_usd": {
+                        k: round(v, 6) for k, v in vm.dollars().items()
+                    },
+                }
+                for vm in self.vms
+            ],
+            "assembly_jobs": [
+                {
+                    "assembler": j.assembler,
+                    "k": j.k,
+                    "nodes": j.nodes,
+                    "node_seconds": round(j.node_seconds, 3),
+                    "cost_usd": round(j.cost_usd, 6),
+                    "cache": j.cache,
+                }
+                for j in self.assembly_jobs
+            ],
+        }
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def _partition_vm(
+    vm: VMAttribution,
+    provision_ivals: list[tuple[float, float]],
+    setup_ivals: list[tuple[float, float]],
+    stage_ivals: list[tuple[float, float, str]],
+) -> dict[str, float]:
+    """Partition one VM's uptime into labelled buckets.
+
+    Classification priority per instant: the VM's own provisioning
+    window, then cluster setup, then whichever pipeline stage was
+    running, else idle.  Implemented as a boundary sweep so the bucket
+    seconds exactly tile the uptime interval.
+    """
+    cuts = {vm.v_start, vm.v_end}
+    for iv in provision_ivals + setup_ivals:
+        cuts.update(iv)
+    for s0, s1, _ in stage_ivals:
+        cuts.update((s0, s1))
+    points = sorted(c for c in cuts if vm.v_start <= c <= vm.v_end)
+    if points[0] != vm.v_start:
+        points.insert(0, vm.v_start)
+    if points[-1] != vm.v_end:
+        points.append(vm.v_end)
+
+    out: dict[str, float] = {}
+    for p0, p1 in zip(points, points[1:]):
+        if p1 <= p0:
+            continue
+        mid = (p0 + p1) / 2
+        if any(i0 <= mid < i1 for i0, i1 in provision_ivals):
+            label = PROVISION
+        elif any(i0 <= mid < i1 for i0, i1 in setup_ivals):
+            label = SETUP
+        else:
+            label = next(
+                (nm for s0, s1, nm in stage_ivals if s0 <= mid < s1), IDLE
+            )
+        out[label] = out.get(label, 0.0) + (p1 - p0)
+    return out
+
+
+def attribute_costs(records: Sequence[dict]) -> CostAttribution:
+    """Build the per-run cost table from a single-run trace."""
+    spans = spans_of(records)
+    lifetimes = [s for s in spans if s["name"] == "vm.lifetime"]
+    if not lifetimes:
+        raise ValueError("trace has no vm.lifetime billing spans")
+
+    provisions = {}  # vm_id -> list of (v0, v1)
+    for s in spans:
+        if s["name"] == "vm.provision":
+            for vid in s["attrs"].get("vm_ids", []):
+                provisions.setdefault(vid, []).append((s["v0"], s["v1"]))
+    setup_ivals = [
+        (s["v0"], s["v1"])
+        for s in spans
+        if s["name"].startswith("cluster.setup")
+    ]
+    stage_ivals = [
+        (s["v0"], s["v1"], stage_name(s))
+        for s in spans
+        if s["cat"] == "stage"
+    ]
+
+    vms: list[VMAttribution] = []
+    for s in lifetimes:
+        a = s["attrs"]
+        vm = VMAttribution(
+            vm_id=a.get("vm_id", s["thread"]),
+            pilot=a.get("pilot"),
+            instance_type=a.get("instance_type", "?"),
+            v_start=s["v0"],
+            v_end=s["v1"],
+            cost_usd=float(a.get("cost_usd", 0.0)),
+            preempted=bool(a.get("preempted", False)),
+        )
+        vm.seconds = _partition_vm(
+            vm, provisions.get(vm.vm_id, []), setup_ivals, stage_ivals
+        )
+        vms.append(vm)
+
+    by_bucket: dict[str, float] = {}
+    node_seconds: dict[str, float] = {}
+    by_pilot: dict[str, float] = {}
+    for vm in vms:
+        for label, usd in vm.dollars().items():
+            by_bucket[label] = by_bucket.get(label, 0.0) + usd
+        for label, secs in vm.seconds.items():
+            node_seconds[label] = node_seconds.get(label, 0.0) + secs
+        key = vm.pilot or "?"
+        by_pilot[key] = by_pilot.get(key, 0.0) + vm.cost_usd
+    by_bucket = dict(sorted(by_bucket.items(), key=lambda kv: -kv[1]))
+
+    # -- subdivide the assembly stage per (assembler, k) job ----------------
+    execs = [
+        s
+        for s in spans
+        if s["cat"] == "unit"
+        and s["attrs"].get("stage") == "transcript-assembly"
+        and s["v0"] is not None
+    ]
+    cache_outcomes: dict[tuple, str] = {}
+    for e in events_of(records):
+        if e["name"] == "assembly_cache.lookup":
+            a = e["attrs"]
+            cache_outcomes[(a.get("assembler"), a.get("k"))] = a.get(
+                "outcome"
+            )
+    assembly_usd = by_bucket.get("transcript-assembly", 0.0)
+    jobs: list[AssemblyJobCost] = []
+    total_ns = 0.0
+    for s in execs:
+        a = s["attrs"]
+        ns = (s["v1"] - s["v0"]) * max(int(a.get("nodes", 1)), 1)
+        total_ns += ns
+        jobs.append(
+            AssemblyJobCost(
+                assembler=a.get("assembler", a.get("unit", s["name"])),
+                k=a.get("k"),
+                nodes=int(a.get("nodes", 1)),
+                node_seconds=ns,
+                cost_usd=0.0,
+                cache=cache_outcomes.get((a.get("assembler"), a.get("k"))),
+            )
+        )
+    for j in jobs:
+        if total_ns > 0:
+            j.cost_usd = assembly_usd * j.node_seconds / total_ns
+    jobs.sort(key=lambda j: -j.node_seconds)
+
+    root = pipeline_span(records)
+    billed = (
+        float(root["attrs"].get("total_cost_usd", 0.0))
+        if root is not None
+        else 0.0
+    )
+    return CostAttribution(
+        total_usd=sum(vm.cost_usd for vm in vms),
+        billed_usd=billed,
+        vms=vms,
+        by_bucket=by_bucket,
+        node_seconds_by_bucket=node_seconds,
+        assembly_jobs=jobs,
+        by_pilot=dict(sorted(by_pilot.items())),
+    )
+
+
+def format_attribution(attr: CostAttribution) -> str:
+    lines = ["== cost attribution =="]
+    lines.append(
+        f"billed total ${attr.total_usd:.2f}"
+        f" across {len(attr.vms)} VM(s)"
+    )
+    lines.append("")
+    lines.append(f"{'bucket':<22} {'node-s':>10} {'USD':>8} {'share':>7}")
+    for label, usd in attr.by_bucket.items():
+        secs = attr.node_seconds_by_bucket.get(label, 0.0)
+        share = usd / attr.total_usd if attr.total_usd else 0.0
+        lines.append(
+            f"{label:<22} {secs:>10.1f} {usd:>8.3f} {share:>6.1%}"
+        )
+    lines.append("")
+    lines.append("== per VM ==")
+    for vm in attr.vms:
+        flag = " (preempted)" if vm.preempted else ""
+        lines.append(
+            f"  {vm.vm_id} [{vm.pilot or '-'}] {vm.instance_type}"
+            f" up {vm.uptime_s:.1f}s -> ${vm.cost_usd:.2f}{flag}"
+        )
+    if attr.assembly_jobs:
+        lines.append("")
+        lines.append("== assembly fan-out ==")
+        lines.append(
+            f"{'job':<16} {'nodes':>5} {'node-s':>10} {'USD':>8}  cache"
+        )
+        for j in attr.assembly_jobs:
+            job = f"{j.assembler}_k{j.k}" if j.k is not None else j.assembler
+            lines.append(
+                f"{job:<16} {j.nodes:>5} {j.node_seconds:>10.1f}"
+                f" {j.cost_usd:>8.4f}  {j.cache or '-'}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Planner prediction gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Predicted-vs-actual comparison for one quantity."""
+
+    name: str
+    predicted: float
+    actual: float
+    rel_err: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return self.rel_err <= self.tolerance
+
+
+def planner_violations(
+    records: Sequence[dict],
+    ttc_rel: float = 0.10,
+    cost_rel: float = 0.25,
+) -> tuple[list[str], list[GateResult]]:
+    """Check the planner's pre-run prediction against trace actuals.
+
+    Returns ``(structural, gates)``: structural problems mean the trace
+    cannot be gated at all (no pipeline span, no prediction attrs); each
+    :class:`GateResult` compares one quantity against its tolerance.
+    The actual TTC comes from the critical path (which tiles the run
+    exactly), the actual cost from the billing spans.
+    """
+    structural: list[str] = []
+    root = pipeline_span(records)
+    if root is None:
+        return ["trace has no pipeline span"], []
+    attrs = root["attrs"]
+    pred_ttc = attrs.get("planner_ttc_s")
+    pred_cost = attrs.get("planner_cost_usd")
+    if pred_ttc is None or pred_cost is None:
+        structural.append(
+            "pipeline span carries no planner prediction "
+            "(planner_ttc_s/planner_cost_usd)"
+        )
+        return structural, []
+
+    path = compute_critical_path(records)
+    actual_ttc = path.total
+    actual_cost = sum(
+        float(s["attrs"].get("cost_usd", 0.0))
+        for s in spans_of(records)
+        if s["name"] == "vm.lifetime"
+    )
+
+    gates = [
+        GateResult(
+            name="ttc_s",
+            predicted=float(pred_ttc),
+            actual=actual_ttc,
+            rel_err=(
+                abs(actual_ttc - pred_ttc) / pred_ttc if pred_ttc else 1.0
+            ),
+            tolerance=ttc_rel,
+        ),
+        GateResult(
+            name="cost_usd",
+            predicted=float(pred_cost),
+            actual=actual_cost,
+            rel_err=(
+                abs(actual_cost - pred_cost) / pred_cost
+                if pred_cost
+                else (0.0 if not actual_cost else 1.0)
+            ),
+            tolerance=cost_rel,
+        ),
+    ]
+    return structural, gates
+
+
+def format_gate(structural: list[str], gates: list[GateResult]) -> str:
+    lines = ["== planner prediction gate =="]
+    for s in structural:
+        lines.append(f"  STRUCTURAL: {s}")
+    for g in gates:
+        verdict = "ok" if g.ok else "VIOLATION"
+        lines.append(
+            f"  {g.name:<9} predicted {g.predicted:>12.3f}"
+            f" actual {g.actual:>12.3f}"
+            f" rel-err {g.rel_err:.2%} (tol {g.tolerance:.0%}) {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.attribution",
+        description="Per-run dollar/node-second attribution from a trace.",
+    )
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--planner-gate",
+        action="store_true",
+        help=(
+            "check planner predicted-vs-actual TTC and cost; exit 1 on a "
+            "blown tolerance, 2 when the trace cannot be gated"
+        ),
+    )
+    parser.add_argument(
+        "--ttc-rel",
+        type=float,
+        default=0.10,
+        help="relative TTC tolerance for the planner gate",
+    )
+    parser.add_argument(
+        "--cost-rel",
+        type=float,
+        default=0.25,
+        help="relative cost tolerance for the planner gate",
+    )
+    args = parser.parse_args(argv)
+
+    records = load_jsonl(args.trace)
+    try:
+        attr = attribute_costs(records)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    structural: list[str] = []
+    gates: list[GateResult] = []
+    if args.planner_gate:
+        structural, gates = planner_violations(
+            records, ttc_rel=args.ttc_rel, cost_rel=args.cost_rel
+        )
+
+    if args.json:
+        payload = attr.as_dict()
+        if args.planner_gate:
+            payload["planner_gate"] = {
+                "structural": structural,
+                "gates": [
+                    {
+                        "name": g.name,
+                        "predicted": g.predicted,
+                        "actual": g.actual,
+                        "rel_err": g.rel_err,
+                        "tolerance": g.tolerance,
+                        "ok": g.ok,
+                    }
+                    for g in gates
+                ],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_attribution(attr))
+        if args.planner_gate:
+            print()
+            print(format_gate(structural, gates))
+
+    if args.planner_gate:
+        if structural:
+            return 2
+        if any(not g.ok for g in gates):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

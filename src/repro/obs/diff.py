@@ -13,25 +13,37 @@ traces written by :func:`repro.obs.write_jsonl`:
 * **metric drift** — counters and gauges by relative drift, histograms
   by count and mean (report-only: their values are real-time shaped).
 
-Exit status: 0 when every gated quantity is within its threshold, 1
-otherwise — which is what lets CI diff a fresh trace against a committed
-baseline.  Gates: virtual drift is gated by ``--v-rel`` (default 0:
-identical-seed traces must agree exactly), structural changes are always
-gated (disable with ``--ignore-structure``), real time by ``--r-rel``
-and counter/gauge drift by ``--metric-rel`` only when passed.
+Exit status (CI-distinguishable): 0 when every gated quantity is within
+its threshold, **1** on threshold violations only (drift), **2** when
+the trace *structure* changed (span/event names appeared or vanished —
+an instrumentation change, not mere drift; takes precedence when both
+kinds are present).  Gates: virtual drift is gated by ``--v-rel``
+(default 0: identical-seed traces must agree exactly), structural
+changes are always gated (disable with ``--ignore-structure``), real
+time by ``--r-rel`` and counter/gauge drift by ``--metric-rel`` only
+when passed.  ``--json`` emits the whole comparison as one JSON object
+for machine-readable CI logs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.obs.export import load_jsonl
+from repro.obs.spans import metrics_of as _metrics_of
+from repro.obs.spans import stage_times as _stage_times
 
 #: Floor for relative-drift denominators.
 _EPS = 1e-12
+
+#: ``main`` exit codes: structure changed / a threshold blew.
+EXIT_OK = 0
+EXIT_THRESHOLD = 1
+EXIT_STRUCTURE = 2
 
 
 def _rel(a: float, b: float) -> float:
@@ -39,26 +51,6 @@ def _rel(a: float, b: float) -> float:
     if a == b:
         return 0.0
     return abs(b - a) / max(abs(a), abs(b), _EPS)
-
-
-def _spans(records: Iterable[dict]) -> list[dict]:
-    return [r for r in records if r.get("type") == "span"]
-
-
-def _v_dur(span: dict) -> float:
-    if span["v0"] is None or span["v1"] is None:
-        return 0.0
-    return span["v1"] - span["v0"]
-
-
-def _stage_times(records: Iterable[dict]) -> dict[str, tuple[float, float]]:
-    """stage name -> (virtual TTC, real seconds)."""
-    out: dict[str, tuple[float, float]] = {}
-    for s in _spans(records):
-        if s["cat"] == "stage":
-            name = s["attrs"].get("stage", s["name"])
-            out[name] = (_v_dur(s), s["r1"] - s["r0"])
-    return out
 
 
 def _name_counts(records: Iterable[dict]) -> dict[tuple[str, str, str], int]:
@@ -71,13 +63,6 @@ def _name_counts(records: Iterable[dict]) -> dict[tuple[str, str, str], int]:
         key = (kind, r.get("cat", ""), r["name"])
         out[key] = out.get(key, 0) + 1
     return out
-
-
-def _metrics_of(records: Iterable[dict]) -> dict:
-    return next(
-        (r["data"] for r in records if r.get("type") == "metrics"),
-        {"counters": {}, "gauges": {}, "histograms": {}},
-    )
 
 
 @dataclass
@@ -136,14 +121,13 @@ class TraceDiff:
 
     # -- gating --------------------------------------------------------------
 
-    def violations(
+    def threshold_violations(
         self,
         v_rel: float = 0.0,
         r_rel: float | None = None,
         metric_rel: float | None = None,
-        structure: bool = True,
     ) -> list[str]:
-        """Human-readable reasons this diff fails its thresholds."""
+        """Drift beyond its thresholds (exit code 1 material)."""
         out = []
         for d in self.stages:
             if d.v_rel > v_rel:
@@ -162,11 +146,6 @@ class TraceDiff:
                 f"({self.total_v_base:g} s -> {self.total_v_other:g} s) "
                 f"> {v_rel:.2%}"
             )
-        if structure:
-            for key in self.new_names:
-                out.append(f"new {key[0]} {key[2]!r} (cat {key[1]!r})")
-            for key in self.missing_names:
-                out.append(f"missing {key[0]} {key[2]!r} (cat {key[1]!r})")
         if metric_rel is not None:
             for m in self.metric_deltas:
                 if m.rel > metric_rel:
@@ -175,6 +154,67 @@ class TraceDiff:
                         f"{m.base} -> {m.other} > {metric_rel:.2%}"
                     )
         return out
+
+    def structural_violations(self) -> list[str]:
+        """Span/event names present in only one trace (exit code 2
+        material: instrumentation changed, not mere drift)."""
+        out = []
+        for key in self.new_names:
+            out.append(f"new {key[0]} {key[2]!r} (cat {key[1]!r})")
+        for key in self.missing_names:
+            out.append(f"missing {key[0]} {key[2]!r} (cat {key[1]!r})")
+        return out
+
+    def violations(
+        self,
+        v_rel: float = 0.0,
+        r_rel: float | None = None,
+        metric_rel: float | None = None,
+        structure: bool = True,
+    ) -> list[str]:
+        """All reasons this diff fails: thresholds, then structure."""
+        out = self.threshold_violations(
+            v_rel=v_rel, r_rel=r_rel, metric_rel=metric_rel
+        )
+        if structure:
+            out.extend(self.structural_violations())
+        return out
+
+    def as_dict(self) -> dict:
+        """Machine-readable view of the whole comparison."""
+        return {
+            "total_v_base": self.total_v_base,
+            "total_v_other": self.total_v_other,
+            "total_v_rel": self.total_v_rel,
+            "stages": [
+                {
+                    "stage": d.stage,
+                    "v_base": d.v_base,
+                    "v_other": d.v_other,
+                    "v_rel": d.v_rel,
+                    "r_base": d.r_base,
+                    "r_other": d.r_other,
+                    "r_rel": d.r_rel,
+                }
+                for d in self.stages
+            ],
+            "new_names": [list(k) for k in self.new_names],
+            "missing_names": [list(k) for k in self.missing_names],
+            "count_changes": [
+                {"key": list(key), "base": a, "other": b}
+                for key, a, b in self.count_changes
+            ],
+            "metric_deltas": [
+                {
+                    "kind": m.kind,
+                    "name": m.name,
+                    "base": m.base,
+                    "other": m.other,
+                }
+                for m in self.metric_deltas
+            ],
+            "histogram_notes": list(self.histogram_notes),
+        }
 
     # -- rendering -----------------------------------------------------------
 
@@ -331,23 +371,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--top", type=int, default=10, help="rows per report section"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as one JSON object (machine-readable)",
+    )
     args = parser.parse_args(argv)
 
     diff = diff_traces(load_jsonl(args.base), load_jsonl(args.other))
-    print(diff.format(top=args.top))
-    violations = diff.violations(
+    thresholds = diff.threshold_violations(
         v_rel=args.v_rel,
         r_rel=args.r_rel,
         metric_rel=args.metric_rel,
-        structure=not args.ignore_structure,
     )
-    if violations:
-        print(f"\nFAIL: {len(violations)} violation(s):")
-        for v in violations:
+    structural = (
+        [] if args.ignore_structure else diff.structural_violations()
+    )
+    code = EXIT_OK
+    if thresholds:
+        code = EXIT_THRESHOLD
+    if structural:
+        code = EXIT_STRUCTURE
+
+    if args.json:
+        payload = diff.as_dict()
+        payload["threshold_violations"] = thresholds
+        payload["structural_violations"] = structural
+        payload["exit_code"] = code
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return code
+
+    print(diff.format(top=args.top))
+    if thresholds or structural:
+        print(
+            f"\nFAIL: {len(thresholds)} threshold and "
+            f"{len(structural)} structural violation(s):"
+        )
+        for v in thresholds + structural:
             print(f"  {v}")
-        return 1
+        return code
     print("\nOK: within thresholds")
-    return 0
+    return code
 
 
 if __name__ == "__main__":

@@ -109,6 +109,31 @@ class Histogram:
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0 with < 2 observations)."""
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self.values) / len(self.values)
+        )
+
+    def summary(self) -> dict:
+        """One JSON-ready dict of the distribution's summary stats —
+        what the exporters and the report render instead of the raw
+        concatenated observation list."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
     def merge(self, other: "Histogram") -> None:
         """Concatenate another histogram's observations."""
         self.values.extend(other.values)
@@ -153,15 +178,6 @@ class Metrics:
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "histograms": {
-                n: {
-                    "count": h.count,
-                    "sum": h.sum,
-                    "mean": h.mean,
-                    "min": h.min,
-                    "max": h.max,
-                    "p50": h.percentile(50),
-                    "p95": h.percentile(95),
-                }
-                for n, h in sorted(self.histograms.items())
+                n: h.summary() for n, h in sorted(self.histograms.items())
             },
         }

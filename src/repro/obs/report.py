@@ -3,13 +3,15 @@
 ``python -m repro.obs.report trace.jsonl`` renders:
 
 * the per-stage table (virtual TTC and real host seconds per pipeline
-  stage, from the ``stage``-category spans);
+  stage, from the ``stage``-category spans, with p50/p95 of the stage's
+  unit execution spans);
 * per-process (pilot / VM pool / SGE) timelines of the virtual clock;
 * a virtual-vs-real breakdown by span category;
 * the top-k hottest phases by charged critical-path compute (from the
   ``phase`` events the usage layer emits);
 * the caching scorecard (count-once k-mer table reuse and the
   content-addressed assembly cache, from their tracer counters);
+* the per-run cost attribution (when the trace carries billing spans);
 * the metrics snapshot.
 
 ``--chrome out.json`` additionally converts the trace to Chrome
@@ -23,20 +25,10 @@ import sys
 from typing import Iterable
 
 from repro.obs.export import load_jsonl, text_summary, write_chrome
-
-
-def _spans(records: Iterable[dict]) -> list[dict]:
-    return [r for r in records if r.get("type") == "span"]
-
-
-def _events(records: Iterable[dict]) -> list[dict]:
-    return [r for r in records if r.get("type") == "event"]
-
-
-def _v_dur(span: dict) -> float:
-    if span["v0"] is None or span["v1"] is None:
-        return 0.0
-    return span["v1"] - span["v0"]
+from repro.obs.metrics import Histogram
+from repro.obs.spans import events_of as _events
+from repro.obs.spans import spans_of as _spans
+from repro.obs.spans import v_duration as _v_dur
 
 
 def stage_ttcs(records: Iterable[dict]) -> dict[str, float]:
@@ -52,9 +44,29 @@ def stage_ttcs(records: Iterable[dict]) -> dict[str, float]:
     return out
 
 
+def _unit_histograms(records: Iterable[dict]) -> dict[str, Histogram]:
+    """stage name -> histogram of its unit exec spans' virtual seconds."""
+    out: dict[str, Histogram] = {}
+    for span in _spans(records):
+        if span["cat"] != "unit" or span["v0"] is None:
+            continue
+        stage = span["attrs"].get("stage")
+        if stage is None:
+            continue
+        if stage not in out:
+            out[stage] = Histogram(stage)
+        out[stage].observe(_v_dur(span))
+    return out
+
+
 def stage_table(records: Iterable[dict]) -> str:
+    records = list(records)
+    units = _unit_histograms(records)
     rows = ["per-stage timings (virtual TTC vs real host seconds):"]
-    rows.append(f"  {'stage':24s} {'virtual s':>12s} {'real s':>10s}  placement")
+    rows.append(
+        f"  {'stage':24s} {'virtual s':>12s} {'real s':>10s} "
+        f"{'unit p50':>9s} {'p95':>9s}  placement"
+    )
     for span in _spans(records):
         if span["cat"] != "stage":
             continue
@@ -62,9 +74,12 @@ def stage_table(records: Iterable[dict]) -> str:
         placement = attrs.get("pilot", "-")
         if attrs.get("n_nodes"):
             placement += f" ({attrs['n_nodes']} x {attrs.get('instance_type', '?')})"
+        hist = units.get(attrs.get("stage", span["name"]))
+        p50 = f"{hist.percentile(50):9.1f}" if hist else f"{'-':>9s}"
+        p95 = f"{hist.percentile(95):9.1f}" if hist else f"{'-':>9s}"
         rows.append(
             f"  {attrs.get('stage', span['name']):24s} {_v_dur(span):12.1f} "
-            f"{span['r1'] - span['r0']:10.3f}  {placement}"
+            f"{span['r1'] - span['r0']:10.3f} {p50} {p95}  {placement}"
         )
     return "\n".join(rows) if len(rows) > 2 else ""
 
@@ -168,6 +183,18 @@ def cache_scorecard(records: Iterable[dict]) -> str:
     return "\n".join(["cache scorecard:"] + rows)
 
 
+def cost_section(records: list[dict]) -> str:
+    """The cost-attribution table, or "" for traces without billing
+    spans (unit tests and the fake-clock fixtures trace no VMs)."""
+    from repro.obs.attribution import attribute_costs, format_attribution
+
+    try:
+        attribution = attribute_costs(records)
+    except ValueError:
+        return ""
+    return format_attribution(attribution)
+
+
 def build_report(records: list[dict], top: int = 10) -> str:
     """The full plain-text run report."""
     sections = [
@@ -176,6 +203,7 @@ def build_report(records: list[dict], top: int = 10) -> str:
         virtual_vs_real(records),
         hottest_phases(records, top=top),
         cache_scorecard(records),
+        cost_section(records),
         text_summary(records, top=top),
     ]
     return "\n\n".join(s for s in sections if s)

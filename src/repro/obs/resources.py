@@ -101,21 +101,33 @@ class CadenceSampler:
         self.sampler = sampler or ResourceSampler()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
 
     def start(self) -> None:
-        if self._thread is not None:
-            return
-        self._thread = threading.Thread(
-            target=self._run, name="repro-resource-sampler", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()  # allow start -> stop -> start reuse
+            self._thread = threading.Thread(
+                target=self._run, name="repro-resource-sampler", daemon=True
+            )
+            self._thread.start()
 
     def _run(self) -> None:
         while not self._stop.wait(self.interval):
             self.callback(self.sampler.sample())
 
     def stop(self) -> None:
+        """Stop and join the sampling thread.
+
+        Safe under double-stop, stop-before-start, and concurrent stops
+        from several threads (the lock makes take-and-join atomic, so
+        only one caller joins).  Calling from the sampler thread itself
+        (a callback deciding to stop) signals shutdown without the
+        illegal self-join.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join()

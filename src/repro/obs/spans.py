@@ -1,0 +1,89 @@
+"""Shared views over JSONL trace records.
+
+Every trace-analytics CLI (:mod:`repro.obs.report`, :mod:`~.diff`,
+:mod:`~.critpath`, :mod:`~.attribution`, :mod:`~.ledger`) reads the same
+record stream :func:`repro.obs.export.write_jsonl` produces — one dict
+per span/event plus a final metrics snapshot.  This module is the single
+place that knows the record schema, so the consumers stay free of
+copy-pasted filtering helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Empty metrics snapshot, the shape :meth:`Metrics.snapshot` produces.
+EMPTY_METRICS: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def spans_of(records: Iterable[dict]) -> list[dict]:
+    """All span records, in stream order."""
+    return [r for r in records if r.get("type") == "span"]
+
+
+def events_of(records: Iterable[dict]) -> list[dict]:
+    """All event records, in stream order."""
+    return [r for r in records if r.get("type") == "event"]
+
+
+def metrics_of(records: Iterable[dict]) -> dict:
+    """The metrics snapshot (an empty one when the trace carries none)."""
+    found = next(
+        (r["data"] for r in records if r.get("type") == "metrics"), None
+    )
+    if found is None:
+        return {k: dict(v) for k, v in EMPTY_METRICS.items()}
+    return found
+
+
+def v_duration(span: dict) -> float:
+    """Virtual seconds covered by a span (0 when no clock was bound)."""
+    if span["v0"] is None or span["v1"] is None:
+        return 0.0
+    return span["v1"] - span["v0"]
+
+
+def r_duration(span: dict) -> float:
+    """Real host seconds covered by a span."""
+    return span["r1"] - span["r0"]
+
+
+def stage_spans(records: Iterable[dict]) -> list[dict]:
+    """The ``category="stage"`` spans, ordered by virtual start."""
+    out = [s for s in spans_of(records) if s["cat"] == "stage"]
+    out.sort(key=lambda s: (s["v0"] is None, s["v0"], s["v1"]))
+    return out
+
+
+def stage_name(span: dict) -> str:
+    """A stage span's logical name (``stage`` attr, else span name)."""
+    return span["attrs"].get("stage", span["name"])
+
+
+def stage_times(records: Iterable[dict]) -> dict[str, tuple[float, float]]:
+    """stage name -> (virtual TTC, real seconds)."""
+    return {
+        stage_name(s): (v_duration(s), r_duration(s))
+        for s in stage_spans(records)
+    }
+
+
+def pipeline_span(records: Iterable[dict]) -> dict | None:
+    """The run-covering ``category="pipeline"`` root span, if present.
+
+    With several runs in one trace (``run_many``), the *last* one wins —
+    analytics CLIs operate on single-run traces.
+    """
+    found = None
+    for s in spans_of(records):
+        if s["cat"] == "pipeline":
+            found = s
+    return found
+
+
+def pipeline_ttc(records: Iterable[dict]) -> float | None:
+    """The run's end-to-end virtual TTC, from the pipeline root span."""
+    root = pipeline_span(records)
+    if root is None or root["v0"] is None or root["v1"] is None:
+        return None
+    return root["v1"] - root["v0"]

@@ -57,6 +57,25 @@ class AgentError(RuntimeError):
     pass
 
 
+#: Span attribute names the exec-span emitters set explicitly; unit
+#: description tags never override these.
+_RESERVED_EXEC_ATTRS = frozenset(
+    {"unit", "stage", "slots", "nodes", "oom", "preempted"}
+)
+
+
+def _extra_tags(unit: ComputeUnit) -> dict:
+    """Unit description tags to stamp onto the exec span (assembler, k,
+    ...) so trace analytics can slice cost/time by them.  Keys the span
+    already carries explicitly (e.g. ``nodes``, which reflects the SGE
+    allocation actually granted, not the requested one) are dropped."""
+    return {
+        k: v
+        for k, v in unit.description.tags.items()
+        if k not in _RESERVED_EXEC_ATTRS
+    }
+
+
 @dataclass
 class PilotAgent:
     """Executes units bound to one ACTIVE pilot."""
@@ -301,6 +320,7 @@ class PilotAgent:
                     slots=job.slots,
                     nodes=len(job.allocation),
                     oom=oom["hit"],
+                    **_extra_tags(unit),
                 )
             if oom["hit"]:
                 peak = scaled.peak_rank_memory_bytes
@@ -350,6 +370,7 @@ class PilotAgent:
                         slots=job.slots,
                         nodes=len(job.allocation),
                         preempted=True,
+                        **_extra_tags(unit),
                     )
             _log.warning(
                 "%s: unit %s lost its node: %s",

@@ -126,3 +126,57 @@ class TestTraceContent:
         assert "transcript-assembly" in report
         # the report quotes the same TTCs the pipeline reports
         assert stage_ttcs(records) == {s.name: s.ttc for s in result.stages}
+
+
+class TestTraceAnalytics:
+    """The analytics layer closed against a real pipeline run."""
+
+    def test_critical_path_total_equals_pipeline_ttc_exactly(self, traced):
+        from repro.obs import compute_critical_path
+
+        result, tracer = traced
+        path = compute_critical_path(tracer.records())
+        assert path.total == result.total_ttc  # bit-for-bit
+
+    def test_attribution_total_equals_billed_cost(self, traced):
+        import pytest as _pytest
+
+        from repro.obs import attribute_costs
+
+        result, tracer = traced
+        attr = attribute_costs(tracer.records())
+        assert attr.total_usd == _pytest.approx(result.total_cost)
+        assert sum(attr.by_bucket.values()) == _pytest.approx(
+            result.total_cost
+        )
+        assert attr.billed_usd == _pytest.approx(result.total_cost)
+
+    def test_planner_gate_passes_on_real_run(self, traced):
+        from repro.obs.attribution import planner_violations
+
+        _, tracer = traced
+        structural, gates = planner_violations(tracer.records())
+        assert structural == []
+        assert gates and all(g.ok for g in gates)
+
+    def test_ledger_record_from_real_run(self, traced):
+        from repro.obs import build_record
+
+        result, tracer = traced
+        rec = build_record(tracer.records(), run_id="parity")
+        assert rec["ttc_s"] == result.total_ttc
+        assert rec["critical_path"]["total_virtual_s"] == result.total_ttc
+        assert rec["config_fingerprint"]
+        assert rec["store_digest"]
+        assert rec["planner"]["ttc_s"]["rel_err"] <= 0.10
+
+    def test_pipeline_span_carries_prediction_and_fingerprint(self, traced):
+        from repro.obs.spans import pipeline_span
+
+        _, tracer = traced
+        root = pipeline_span(tracer.records())
+        attrs = root["attrs"]
+        assert attrs["planner_ttc_s"] > 0
+        assert attrs["planner_cost_usd"] > 0
+        assert len(attrs["config_fingerprint"]) == 16
+        assert attrs["planner_stages"]

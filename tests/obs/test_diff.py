@@ -115,12 +115,39 @@ class TestCli:
         assert main([str(a), str(b), "--v-rel", "0.05",
                      "--metric-rel", "0.5"]) == 0
 
-    def test_ignore_structure_flag(self, tmp_path):
+    def test_structural_violations_exit_two(self, tmp_path):
         a = write_jsonl(make_trace(), tmp_path / "a.jsonl")
         b = write_jsonl(make_trace(extra_span=True), tmp_path / "b.jsonl")
-        assert main([str(a), str(b), "--v-rel", "1.0"]) == 1
+        assert main([str(a), str(b), "--v-rel", "1.0"]) == 2
         assert main([str(a), str(b), "--v-rel", "1.0",
                      "--ignore-structure"]) == 0
+
+    def test_structure_trumps_threshold_exit_code(self, tmp_path):
+        a = write_jsonl(make_trace(4000.0), tmp_path / "a.jsonl")
+        b = write_jsonl(
+            make_trace(4400.0, extra_span=True), tmp_path / "b.jsonl"
+        )
+        # Both kinds of violation present: structure (2) wins, and with
+        # structure ignored the drift still fails with 1.
+        assert main([str(a), str(b)]) == 2
+        assert main([str(a), str(b), "--ignore-structure"]) == 1
+
+    def test_json_output_mode(self, tmp_path, capsys):
+        import json as jsonlib
+
+        a = write_jsonl(make_trace(4000.0), tmp_path / "a.jsonl")
+        b = write_jsonl(
+            make_trace(4400.0, extra_span=True), tmp_path / "b.jsonl"
+        )
+        assert main([str(a), str(b), "--json"]) == 2
+        payload = jsonlib.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert payload["structural_violations"]
+        assert payload["threshold_violations"]
+        assert any(
+            d["stage"] == "transcript-assembly" and d["v_rel"] > 0.09
+            for d in payload["stages"]
+        )
 
     def test_module_is_runnable(self):
         import repro.obs.diff as mod

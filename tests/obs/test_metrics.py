@@ -55,6 +55,36 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("x").percentile(101)
 
+    def test_stddev_population(self):
+        h = Histogram("x")
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            h.observe(v)
+        assert h.stddev == pytest.approx(2.0)
+
+    def test_stddev_degenerate_cases(self):
+        h = Histogram("x")
+        assert h.stddev == 0.0
+        h.observe(42.0)
+        assert h.stddev == 0.0  # one sample has no spread
+        h.observe(42.0)
+        assert h.stddev == 0.0
+
+    def test_summary_dict(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s == {
+            "count": 4,
+            "sum": 10.0,
+            "mean": 2.5,
+            "stddev": pytest.approx(1.118033988749895),
+            "min": 1.0,
+            "max": 4.0,
+            "p50": 2.0,
+            "p95": 4.0,
+        }
+
 
 class TestMetrics:
     def test_get_or_create(self):
@@ -77,6 +107,7 @@ class TestMetrics:
         assert h["sum"] == 6.0
         assert h["p50"] == 1.0
         assert h["p95"] == 5.0
+        assert h["stddev"] == pytest.approx(2.0)
 
     def test_snapshot_is_sorted_and_json_ready(self):
         import json

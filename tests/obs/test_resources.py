@@ -55,6 +55,59 @@ class TestCadenceSampler:
         sampler.stop()
         sampler.stop()
 
+    def test_stop_before_start_is_noop(self):
+        CadenceSampler(0.01, lambda s: None).stop()
+
+    def test_restart_after_stop_samples_again(self):
+        # Regression: stop() used to leave the stop event set, so a
+        # restarted sampler's thread exited on its first wait.
+        got = []
+        sampler = CadenceSampler(0.005, got.append)
+        sampler.start()
+        time.sleep(0.03)
+        sampler.stop()
+        n = len(got)
+        assert n >= 1
+        sampler.start()
+        time.sleep(0.03)
+        sampler.stop()
+        assert len(got) > n
+
+    def test_concurrent_stops_join_once(self):
+        # Regression: the unlocked check-then-join let two stoppers race;
+        # now exactly one caller takes and joins the thread.
+        import threading
+
+        sampler = CadenceSampler(0.005, lambda s: None)
+        sampler.start()
+        stoppers = [
+            threading.Thread(target=sampler.stop) for _ in range(8)
+        ]
+        for t in stoppers:
+            t.start()
+        for t in stoppers:
+            t.join(timeout=5.0)
+        assert all(not t.is_alive() for t in stoppers)
+        assert sampler._thread is None
+
+    def test_stop_from_callback_thread_does_not_self_join(self):
+        # A callback deciding to stop must not deadlock on joining the
+        # very thread it runs on.
+        import threading
+
+        done = threading.Event()
+        holder = {}
+
+        def callback(sample):
+            holder["sampler"].stop()
+            done.set()
+
+        holder["sampler"] = CadenceSampler(0.005, callback)
+        holder["sampler"].start()
+        assert done.wait(timeout=5.0)
+        # the thread winds down on its own; a second stop stays safe
+        holder["sampler"].stop()
+
     def test_rejects_nonpositive_interval(self):
         with pytest.raises(ValueError):
             CadenceSampler(0.0, lambda s: None)
