@@ -235,16 +235,25 @@ def fused_canonical_positions_packed(
     main0 = np.zeros(n_main, dtype=U)
     main1 = np.zeros(n_main, dtype=U) if W == 2 else None
     if n_main:
+        # One uint64 upcast of the whole sanitized array, then strictly
+        # in-place shift/or rounds: no per-iteration temporaries, which
+        # roughly halves the wall time of the dominant packing loop.
+        san64 = san.astype(U)
+        two = U(2)
         k0 = min(kmax, 32)
         w = np.zeros(n_main, dtype=U)
         for i in range(k0):
-            w = (w << U(2)) | san[i : i + n_main].astype(U)
-        main0 = w << U(2 * (32 - k0))
+            np.left_shift(w, two, out=w)
+            np.bitwise_or(w, san64[i : i + n_main], out=w)
+        np.left_shift(w, U(2 * (32 - k0)), out=w)
+        main0 = w
         if W == 2:
             w = np.zeros(n_main, dtype=U)
             for i in range(32, kmax):
-                w = (w << U(2)) | san[i : i + n_main].astype(U)
-            main1 = w << U(128 - 2 * kmax)
+                np.left_shift(w, two, out=w)
+                np.bitwise_or(w, san64[i : i + n_main], out=w)
+            np.left_shift(w, U(128 - 2 * kmax), out=w)
+            main1 = w
 
     out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     for k in ks:
@@ -274,6 +283,37 @@ def fused_canonical_positions_packed(
             rows[nm:] = packedmod.pack(wins)
         out[k] = (packedmod.canonicalize(rows, k), pos)
     return out
+
+
+def fused_canonical_positions_store_packed(
+    store, ks, r0: int = 0, r1: int | None = None
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """:func:`fused_canonical_positions_packed` over a read-range shard
+    ``[r0, r1)`` of a :class:`~repro.seq.readstore.ReadStore`.
+
+    Positions are reported in *global* store coordinates, so the shard
+    results of a partition of ``[0, n_reads)`` concatenate (in shard
+    order) to exactly the full-store extraction.  Safe at any read
+    boundary: the store layout places a single-N separator after every
+    read — including the last — so the slice ``codes[offsets[r0] :
+    offsets[r1]]`` ends on a separator, and any window crossing the
+    shard's final read would contain that N and be dropped, exactly as
+    it is in the full-store pass.
+    """
+    offsets = store.offsets
+    n_reads = int(offsets.shape[0]) - 1
+    if r1 is None:
+        r1 = n_reads
+    if not 0 <= r0 <= r1 <= n_reads:
+        raise ValueError(
+            f"read range [{r0}, {r1}) out of bounds for {n_reads} reads"
+        )
+    lo = int(offsets[r0])
+    hi = int(offsets[r1])
+    fused = fused_canonical_positions_packed(store.codes[lo:hi], ks)
+    if lo:
+        fused = {k: (rows, pos + lo) for k, (rows, pos) in fused.items()}
+    return fused
 
 
 def kmer_counts_packed(

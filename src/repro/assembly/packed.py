@@ -205,6 +205,32 @@ def keys_to_packed(key_arr: np.ndarray, k: int) -> np.ndarray:
     return np.frombuffer(raw, dtype=">u8").reshape(-1, 2).astype(_U)
 
 
+def bucket_ids(key_arr: np.ndarray, k: int, n_buckets: int) -> np.ndarray:
+    """Radix bucket of each sortable key: the top ``log2(n_buckets)``
+    bits of packed word 0.
+
+    The bucket id is a *prefix* of the sort key for both key dtypes —
+    plain uint64 keys start with word 0, and the ``S16`` memcmp key's
+    first 8 bytes are word 0 big-endian — so bucket ids are monotone
+    non-decreasing over any key-sorted array.  That is the merge
+    invariant the sharded spectrum build rests on: concatenating
+    per-bucket sorted runs in ascending bucket order yields the globally
+    key-sorted sequence.  ``n_buckets`` must be a power of two.
+    """
+    if n_buckets < 1 or (n_buckets & (n_buckets - 1)):
+        raise ValueError(f"n_buckets must be a power of two, got {n_buckets}")
+    key_arr = np.asarray(key_arr)
+    if n_buckets == 1:
+        return np.zeros(key_arr.shape[0], dtype=np.int64)
+    W = words_for(k)
+    if W == 1:
+        word0 = np.asarray(key_arr, dtype=_U)
+    else:
+        word0 = keys_to_packed(key_arr, k)[:, 0]
+    bbits = n_buckets.bit_length() - 1
+    return (word0 >> _U(64 - bbits)).astype(np.int64)
+
+
 def key_list(packed: np.ndarray, k: int) -> list:
     """Keys as hashable Python scalars (``int`` or ``bytes``) for sets."""
     return keys(packed, k).tolist()

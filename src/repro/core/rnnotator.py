@@ -19,6 +19,7 @@ from repro.assembly.sweep import (
     KmerSpectrum,
     build_spectra,
     get_kmer_table_cache,
+    submit_spectra_build,
 )
 from repro.assembly.trinity import TRINITY_K
 from repro.cloud.clock import EventQueue, SimClock
@@ -34,6 +35,7 @@ from repro.core.planner import (
     AssemblyPlan,
     plan_assembly,
     predict_run,
+    predict_spectrum_build,
     select_kmer_list,
 )
 from repro.core.preprocess import (
@@ -105,6 +107,14 @@ class PipelineConfig:
     #: usage and virtual TTCs are bit-identical either way; off only for
     #: benchmarking the per-job re-extraction path.
     fused_extraction: bool = True
+    #: Shard count for the parallel spectrum build (pool backends only;
+    #: see repro.assembly.sweep.submit_spectra_build).  None derives it
+    #: from the executor's worker count — a configuration value, so the
+    #: traced span structure stays deterministic across hosts.  Results
+    #: are bit-identical for any shard count.
+    spectrum_shards: int | None = None
+    #: Radix-bucket count of the sharded build's merge (power of two).
+    spectrum_buckets: int = 16
     #: Seconds between RSS/CPU samples taken *inside* fan-out workloads
     #: running on a pool backend (shipped back in the worker trace and
     #: exported as Perfetto counter tracks).  0 keeps only the
@@ -169,6 +179,15 @@ class PipelineConfig:
             make_executor(self.executor)  # validate the name early
         if self.unit_max_restarts < 0:
             raise ValueError("unit_max_restarts must be >= 0")
+        if self.spectrum_shards is not None and self.spectrum_shards < 1:
+            raise ValueError("spectrum_shards must be None or >= 1")
+        if self.spectrum_buckets < 1 or (
+            self.spectrum_buckets & (self.spectrum_buckets - 1)
+        ):
+            raise ValueError(
+                f"spectrum_buckets must be a power of two, "
+                f"got {self.spectrum_buckets}"
+            )
         if self.max_restart_rounds < 1:
             raise ValueError("max_restart_rounds must be >= 1")
         if any(dt < 0 for dt in self.preempt_at):
@@ -539,149 +558,209 @@ class RnnotatorPipeline:
 
         # ---- plan the assembly stage (the dynamic decision) ---------------
         kmer_list = config.kmer_list or select_kmer_list(pre.modal_read_length)
-        pb_itype = pa_itype if config.scheme.reuses_vms else (
-            config.instance_type or pa_itype
-        )
-        plan = plan_assembly(
-            spec,
-            kmer_list,
-            config.assemblers,
-            pb_itype,
-            mpi_nodes_per_job=config.mpi_nodes_per_job,
-            contrail_nodes_per_job=config.contrail_nodes_per_job,
-            max_nodes=config.max_nodes,
-        )
-        # Price the rest of the run up front from spec + plan alone; the
-        # prediction rides on the pipeline span so trace analytics
-        # (repro.obs.attribution) can gate predicted-vs-actual TTC/cost.
-        prediction = predict_run(
-            spec,
-            plan,
-            pre.modal_read_length,
-            reuses_vms=config.scheme.reuses_vms,
-            pa_instance_type=pa_itype,
-            cost_model=self.cost_model,
-            wan_bandwidth=transfers.wan_bandwidth,
-            lan_bandwidth=transfers.lan_bandwidth,
-            provision_seconds=region.provision_seconds,
-        )
-
-        # ---- pilot P_B: transcript assembly --------------------------------
-        pb = pm.submit(PilotDescription("P_B", pb_itype, n_nodes=plan.n_nodes))
-        if config.scheme.reuses_vms:
-            if shared_cluster.n_nodes < plan.n_nodes:
-                shared_cluster.grow(
-                    region, plan.n_nodes - shared_cluster.n_nodes
-                )
-            pm.launch_on(pb, shared_cluster)
-        else:
-            pm.finish(pa)  # S1: P_A's VM dies once its data is handed over
-            pm.launch(pb)
-            transfers.copy(
-                spec.preprocessed_bytes, src="P_A", dst="P_B"
-            )
-
-        # ---- failure injection + S3 elasticity for the fan-out -------------
-        preemptor: SpotPreemptor | None = None
-        if config.preempt_at:
-            preemptor = SpotPreemptor(
-                region,
-                events,
-                cluster=pb.cluster,
-                protect={pb.cluster.head.vm_id},
-            )
-            preemptor.arm_in(config.preempt_at)
-        elastic: ElasticPool | None = None
-        if config.scheme.elastic:
-            elastic = ElasticPool(
-                region,
-                events,
-                cluster=pb.cluster,
-                pilot=pb,
-                min_nodes=1,
-                max_nodes=config.max_nodes,
-            )
-            if preemptor is not None:
-                preemptor.on_preempt.append(elastic.on_preempt)
 
         # The assembly fan-out is where task-level parallelism lives: its
         # workloads are picklable AssemblyWorkload callables, so any
         # executor backend (thread/process pool) can spread them over
-        # the host's cores.
+        # the host's cores.  Created before planning so the sharded
+        # spectrum build below can ride the pool while the parent plans
+        # and provisions.
         assembly_executor = make_executor(
             config.executor, config.executor_workers
         )
-        umb = UnitManager(
-            db,
-            events,
-            scheduler=MemoryAwareScheduler(),
-            cost_model=self.cost_model,
-            executor=assembly_executor,
-            resource_cadence=config.resource_cadence,
-            checkpoint=ckpt,
-            elastic=elastic,
-            max_restart_rounds=config.max_restart_rounds,
-        )
-        umb.add_pilot(pb)
         # Encode the pre-processed reads exactly once; every fan-out unit
         # shares this store (and, under the process backend, attaches to
         # its shared-memory segment instead of unpickling record tuples).
         store = ReadStore.from_reads(pre.reads)
         store_digest = store.digest
-        # Count-once fusion: one fused pass extracts and counts every k
-        # the plan needs (trinity always consumes k=25); each fan-out
-        # unit is served from the spectrum matching its job's k.
         spectra: tuple[KmerSpectrum, ...] = ()
-        if config.fused_extraction:
-            ks = sorted(
-                {
-                    TRINITY_K if a == "trinity" else k
-                    for a, k, _ in plan.jobs()
-                }
-            )
-            spectra = build_spectra(store, ks)
-            # Register parent-side so every workload resolve — in this
-            # process or a forked pool worker — is a hit; counters stay
-            # deterministic regardless of unit-to-worker assignment.
-            table_cache = get_kmer_table_cache()
-            if table_cache is not None:
-                spectra = tuple(table_cache.resolve(sp) for sp in spectra)
-            if isinstance(assembly_executor, ProcessExecutor):
-                # Move every spectrum into shared memory BEFORE the pool's
-                # first submit forks its workers: forked workers then find
-                # the live segments in the attach registry they inherited
-                # instead of re-attaching, which keeps the (process-wide)
-                # resource tracker's bookkeeping balanced.
-                for sp in spectra:
-                    sp.share()
-        descs = multikmer.assembly_unit_descriptions(
-            plan,
-            spec,
-            store,
-            dataset,
-            min_count=config.min_count,
-            min_contig_length=config.min_contig_length,
-            use_cache=config.assembly_cache,
-            max_restarts=config.unit_max_restarts,
-            spectra=spectra,
-        )
-        t0 = clock.now
-        w0 = time.perf_counter()
-        units = umb.submit_units(descs)
-        if on_assembly_inflight is not None:
-            # Cross-run overlap hook: the next dataset's pre-processing
-            # goes onto the shared pool here, racing the fan-out below.
-            on_assembly_inflight()
+        umb: UnitManager | None = None
         try:
-            umb.run(units)
-        except UnitFailureError as exc:
-            raise PipelineError(
-                f"assembly jobs failed: "
-                f"{[(u.description.name, u.error) for u in exc.units]}"
-            ) from exc
+            # Count-once fusion: one fused pass extracts and counts every
+            # k the fan-out needs (trinity always consumes k=25); each
+            # unit is served from the spectrum matching its job's k.
+            build_ks: tuple[int, ...] = ()
+            pending_build = None
+            if config.fused_extraction:
+                build_ks = tuple(
+                    sorted(
+                        {
+                            TRINITY_K if a == "trinity" else int(k)
+                            for a in config.assemblers
+                            for k in kmer_list
+                        }
+                    )
+                )
+            if build_ks and assembly_executor.supports_overlap:
+                # Sharded build, submitted *now*: the shard workers race
+                # the planning, pilot provisioning and cluster growth
+                # below on the real clock, and the merge at collect time
+                # is bit-identical to the serial build.
+                pending_build = submit_spectra_build(
+                    store,
+                    build_ks,
+                    assembly_executor,
+                    n_shards=config.spectrum_shards,
+                    n_buckets=config.spectrum_buckets,
+                )
+
+            pb_itype = pa_itype if config.scheme.reuses_vms else (
+                config.instance_type or pa_itype
+            )
+            plan = plan_assembly(
+                spec,
+                kmer_list,
+                config.assemblers,
+                pb_itype,
+                mpi_nodes_per_job=config.mpi_nodes_per_job,
+                contrail_nodes_per_job=config.contrail_nodes_per_job,
+                max_nodes=config.max_nodes,
+            )
+            # Price the rest of the run up front from spec + plan alone;
+            # the prediction rides on the pipeline span so trace analytics
+            # (repro.obs.attribution) can gate predicted-vs-actual
+            # TTC/cost.
+            prediction = predict_run(
+                spec,
+                plan,
+                pre.modal_read_length,
+                reuses_vms=config.scheme.reuses_vms,
+                pa_instance_type=pa_itype,
+                cost_model=self.cost_model,
+                wan_bandwidth=transfers.wan_bandwidth,
+                lan_bandwidth=transfers.lan_bandwidth,
+                provision_seconds=region.provision_seconds,
+            )
+
+            # ---- pilot P_B: transcript assembly ----------------------------
+            pb = pm.submit(
+                PilotDescription("P_B", pb_itype, n_nodes=plan.n_nodes)
+            )
+            if config.scheme.reuses_vms:
+                if shared_cluster.n_nodes < plan.n_nodes:
+                    shared_cluster.grow(
+                        region, plan.n_nodes - shared_cluster.n_nodes
+                    )
+                pm.launch_on(pb, shared_cluster)
+            else:
+                pm.finish(pa)  # S1: P_A's VM dies once its data is handed over
+                pm.launch(pb)
+                transfers.copy(
+                    spec.preprocessed_bytes, src="P_A", dst="P_B"
+                )
+
+            # ---- failure injection + S3 elasticity for the fan-out ---------
+            preemptor: SpotPreemptor | None = None
+            if config.preempt_at:
+                preemptor = SpotPreemptor(
+                    region,
+                    events,
+                    cluster=pb.cluster,
+                    protect={pb.cluster.head.vm_id},
+                )
+                preemptor.arm_in(config.preempt_at)
+            elastic: ElasticPool | None = None
+            if config.scheme.elastic:
+                elastic = ElasticPool(
+                    region,
+                    events,
+                    cluster=pb.cluster,
+                    pilot=pb,
+                    min_nodes=1,
+                    max_nodes=config.max_nodes,
+                )
+                if preemptor is not None:
+                    preemptor.on_preempt.append(elastic.on_preempt)
+
+            umb = UnitManager(
+                db,
+                events,
+                scheduler=MemoryAwareScheduler(),
+                cost_model=self.cost_model,
+                executor=assembly_executor,
+                resource_cadence=config.resource_cadence,
+                checkpoint=ckpt,
+                elastic=elastic,
+                max_restart_rounds=config.max_restart_rounds,
+            )
+            umb.add_pilot(pb)
+
+            if build_ks:
+                build_prediction = predict_spectrum_build(
+                    spec,
+                    build_ks,
+                    pre.modal_read_length,
+                    n_shards=(
+                        pending_build.n_shards
+                        if pending_build is not None
+                        else 1
+                    ),
+                )
+                build_attrs = {
+                    "planner_serial_s": build_prediction.serial_s,
+                    "planner_sharded_s": build_prediction.sharded_s,
+                }
+                if pending_build is not None:
+                    # Everything since submit — planning, P_B provisioning,
+                    # cluster growth, manager setup — ran while the shard
+                    # workers extracted; collect merges their sorted runs.
+                    spectra = pending_build.collect(span_attrs=build_attrs)
+                else:
+                    spectra = build_spectra(
+                        store, build_ks, span_attrs=build_attrs
+                    )
+                # Register parent-side so every workload resolve — in this
+                # process or a forked pool worker — is a hit; counters stay
+                # deterministic regardless of unit-to-worker assignment.
+                table_cache = get_kmer_table_cache()
+                if table_cache is not None:
+                    spectra = tuple(table_cache.resolve(sp) for sp in spectra)
+                if isinstance(assembly_executor, ProcessExecutor):
+                    # Move every spectrum into shared memory BEFORE the
+                    # pool's first fan-out submit: with the sharded build
+                    # the pool already forked at shard submission, so
+                    # workers attach these later segments on demand
+                    # (_attach_untracked suppresses their tracker
+                    # registration either way); without it, forked workers
+                    # find the live segments in the inherited attach
+                    # registry.  Both keep the (process-wide) resource
+                    # tracker's bookkeeping balanced.
+                    for sp in spectra:
+                        sp.share()
+            descs = multikmer.assembly_unit_descriptions(
+                plan,
+                spec,
+                store,
+                dataset,
+                min_count=config.min_count,
+                min_contig_length=config.min_contig_length,
+                use_cache=config.assembly_cache,
+                max_restarts=config.unit_max_restarts,
+                spectra=spectra,
+            )
+            t0 = clock.now
+            w0 = time.perf_counter()
+            units = umb.submit_units(descs)
+            if on_assembly_inflight is not None:
+                # Cross-run overlap hook: the next dataset's pre-processing
+                # goes onto the shared pool here, racing the fan-out below.
+                on_assembly_inflight()
+            try:
+                umb.run(units)
+            except UnitFailureError as exc:
+                raise PipelineError(
+                    f"assembly jobs failed: "
+                    f"{[(u.description.name, u.error) for u in exc.units]}"
+                ) from exc
         finally:
             if isinstance(config.executor, str):
-                umb.close()  # the pipeline owns backends it created
+                # The pipeline owns backends it created; umb.close() shuts
+                # the executor down, or do it directly when a failure
+                # predates the unit manager.
+                if umb is not None:
+                    umb.close()
+                else:
+                    assembly_executor.shutdown()
             for sp in spectra:
                 sp.close()  # unlinks shared spectrum segments, if any
             store.close()  # unlinks the shared segment iff one was created

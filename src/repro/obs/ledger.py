@@ -136,6 +136,17 @@ def build_record(
             for g in gates
         }
 
+    spectrum_spans = [
+        s
+        for s in trace_records
+        if s.get("type") == "span" and s.get("name") == "spectrum.build"
+    ]
+    spectrum_build_s = (
+        round(sum(s["r1"] - s["r0"] for s in spectrum_spans), 6)
+        if spectrum_spans
+        else None
+    )
+
     counters = metrics_of(trace_records).get("counters", {})
     record = {
         "schema": SCHEMA_VERSION,
@@ -148,6 +159,7 @@ def build_record(
         "assemblers": attrs.get("assemblers"),
         "ttc_s": root["v1"] - root["v0"],
         "real_s": round(root["r1"] - root["r0"], 6),
+        "spectrum_build_s": spectrum_build_s,
         "stages": stages,
         "counters": counters,
         "cost": cost_rollup,
@@ -187,6 +199,7 @@ def check_regressions(
     window: int = 5,
     v_rel: float = 0.05,
     cost_rel: float = 0.25,
+    build_rel: float = 1.0,
 ) -> tuple[list[Regression], str]:
     """Gate the latest record against the median of its baseline window.
 
@@ -194,7 +207,10 @@ def check_regressions(
     preceding records with the same dataset + config fingerprint —
     median, not mean, so one historic outlier cannot shift the gate.
     Returns ``(regressions, note)``; an empty baseline is a note, not a
-    failure (a fresh ledger must not fail CI).
+    failure (a fresh ledger must not fail CI).  ``build_rel`` gates the
+    host-side ``spectrum_build_s`` — real wall seconds on shared CI
+    hosts, hence the deliberately loose default (a 2x blowup fails, run
+    jitter does not).
     """
     if not records:
         raise ValueError("ledger is empty; nothing to check")
@@ -241,6 +257,12 @@ def check_regressions(
         median_of(lambda r: r.get("cost", {}).get("total_usd")),
         latest.get("cost", {}).get("total_usd"),
         cost_rel,
+    )
+    gate(
+        "spectrum_build_s",
+        median_of(lambda r: r.get("spectrum_build_s")),
+        latest.get("spectrum_build_s"),
+        build_rel,
     )
     for stage in latest.get("stages", {}):
         gate(
@@ -300,6 +322,11 @@ def compare_records(a: dict, b: dict) -> str:
 
     delta("ttc_s", a.get("ttc_s"), b.get("ttc_s"))
     delta(
+        "spectrum_build_s",
+        a.get("spectrum_build_s"),
+        b.get("spectrum_build_s"),
+    )
+    delta(
         "cost.total_usd",
         a.get("cost", {}).get("total_usd"),
         b.get("cost", {}).get("total_usd"),
@@ -357,6 +384,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_check.add_argument("--window", type=int, default=5)
     p_check.add_argument("--v-rel", type=float, default=0.05)
     p_check.add_argument("--cost-rel", type=float, default=0.25)
+    p_check.add_argument("--build-rel", type=float, default=1.0)
     p_check.add_argument("--json", action="store_true")
 
     args = parser.parse_args(argv)
@@ -417,6 +445,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             window=args.window,
             v_rel=args.v_rel,
             cost_rel=args.cost_rel,
+            build_rel=args.build_rel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -148,18 +148,20 @@ def hottest_phases(records: Iterable[dict], top: int = 10) -> str:
 
 
 def cache_scorecard(records: Iterable[dict]) -> str:
-    """Hit/miss scorecard of the two content-addressed caches.
+    """Hit/miss scorecard of the two content-addressed caches, plus the
+    count-once spectrum build's wall/virtual cost.
 
     Mirrors the ``kmer_table.*`` counters of the count-once fusion layer
     (:mod:`repro.assembly.sweep`) and the ``assembly_cache.*`` counters
     (lookups plus parent-side ``put`` recording) from the metrics
-    snapshot into a first-class report section."""
+    snapshot into a first-class report section; when the trace carries
+    ``spectrum.build`` spans, a row reports the build's real host
+    seconds against its (zero, by construction) virtual cost and mode."""
+    records = list(records)
     metrics = next(
         (r["data"] for r in records if r.get("type") == "metrics"), None
     )
-    if not metrics:
-        return ""
-    counters = metrics.get("counters", {})
+    counters = (metrics or {}).get("counters", {})
     rows = []
     for label, prefix, extra in (
         ("kmer table cache", "kmer_table", [("bytes cached", "bytes")]),
@@ -178,6 +180,16 @@ def cache_scorecard(records: Iterable[dict]) -> str:
             counters.get(f"{prefix}.{suffix}") for _, suffix in extra
         ):
             rows.append(f"  {label:18s} {'  '.join(cells)}")
+    builds = [s for s in _spans(records) if s["name"] == "spectrum.build"]
+    if builds:
+        wall = sum(s["r1"] - s["r0"] for s in builds)
+        virt = sum(_v_dur(s) for s in builds)
+        mode = builds[-1]["attrs"].get("mode", "?")
+        cells = [f"wall {wall:.3f} s", f"virtual {virt:g} s", f"mode {mode}"]
+        n_shards = builds[-1]["attrs"].get("n_shards")
+        if n_shards is not None:
+            cells.append(f"shards {n_shards:g}")
+        rows.append(f"  {'spectrum build':18s} {'  '.join(cells)}")
     if not rows:
         return ""
     return "\n".join(["cache scorecard:"] + rows)

@@ -127,6 +127,21 @@ class TestSections:
             == ""
         )
 
+    def test_cache_scorecard_spectrum_build_row(self):
+        records = [
+            {
+                "type": "span", "name": "spectrum.build", "cat": "spectrum",
+                "process": "p", "thread": "t", "v0": 10.0, "v1": 10.0,
+                "r0": 2.0, "r1": 2.5, "id": 1, "parent": None,
+                "attrs": {"mode": "sharded", "n_shards": 3},
+            }
+        ]
+        text = cache_scorecard(records)
+        assert "spectrum build" in text
+        assert "wall 0.500 s" in text
+        assert "virtual 0 s" in text
+        assert "mode sharded" in text and "shards 3" in text
+
 
 def golden_records() -> list[dict]:
     """A fully hand-constructed trace: every timestamp (virtual *and*
@@ -153,6 +168,15 @@ def golden_records() -> list[dict]:
             "process": "worker-4242", "thread": "u1", "v0": None,
             "v1": None, "r0": 1.6, "r1": 2.6, "id": 3, "parent": 2,
             "attrs": {"rss_bytes": 64000000, "cpu_seconds": 1.5},
+        },
+        {
+            # The host-side spectrum build: real wall time, zero virtual
+            # width (the scorecard's spectrum-build row feeds off this).
+            "type": "span", "name": "spectrum.build", "cat": "spectrum",
+            "process": "pilot.0", "thread": "main", "v0": 123.25,
+            "v1": 123.25, "r0": 1.5, "r1": 1.75, "id": 4, "parent": None,
+            "attrs": {"mode": "sharded", "ks": [25, 31], "n_shards": 2,
+                      "n_buckets": 16},
         },
         {
             "type": "event", "name": "resource.sample", "cat": "resource",
