@@ -6,12 +6,15 @@ into a cheap attribute check — (b) cheap enough when enabled that traced
 benchmark sessions stay representative, and (c) cheap enough *inside
 pool workers* that tracing a process-backend run (buffering, resource
 sampling, shipping the trace back, merging it) stays under the same
-budget.  The first two are priced on the same workload as
+budget — and (d) cheap enough with the *live* telemetry attached (a
+streaming JSONL sink receiving every record plus a heartbeat thread
+beating over an in-flight table) that watching a run costs no more than
+tracing it.  The first two are priced on the same workload as
 ``test_kmer_engine.py`` (Ray on the full P. crispa bench data at k=51 on
 8 ranks); the worker-side cost on a batch of instrumented workloads
 through a warm :class:`ProcessExecutor` pool.  Results are merged into
-``BENCH_obs_overhead.json`` at the repo root (``ambient`` and
-``worker_tracing`` keys).
+``BENCH_obs_overhead.json`` at the repo root (``ambient``,
+``worker_tracing`` and ``live_telemetry`` keys).
 """
 
 import functools
@@ -31,6 +34,12 @@ from repro.obs import (
     merge_worker_trace,
     use_tracer,
 )
+from repro.obs.live import (
+    HeartbeatMonitor,
+    InflightUnit,
+    JsonlStreamSink,
+    StragglerDetector,
+)
 from repro.parallel.executor import ProcessExecutor
 from repro.parallel.usage import ResourceUsage
 
@@ -44,6 +53,10 @@ MAX_TRACED_OVERHEAD = 0.05
 MAX_NULL_OVERHEAD = 0.03
 #: Worker-side tracing (buffer + resource sampler + merge) budget.
 MAX_WORKER_OVERHEAD = 0.05
+#: Live telemetry (streaming sink + heartbeat thread) budget.
+MAX_LIVE_OVERHEAD = 0.05
+#: Heartbeat cadence used in the live-telemetry benchmark (real s).
+LIVE_HEARTBEAT_CADENCE = 0.02
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 
 # Process-pool batch shape (downscaled under --smoke).
@@ -162,6 +175,91 @@ def test_tracing_overhead(report_sink):
     )
     assert null_overhead < MAX_NULL_OVERHEAD
     assert traced_overhead < MAX_TRACED_OVERHEAD
+
+
+def test_live_telemetry_overhead(report_sink, tmp_path):
+    """Price the full live stack: every span/event/metric streamed to a
+    flushed-per-line JSONL sink while a heartbeat thread (with straggler
+    detection armed) beats over a 4-unit in-flight table — versus the
+    bare untraced baseline.  This is the whole cost of being watchable:
+    the gate says attaching a live monitor may not cost more than the
+    tracing budget itself."""
+    reads = harness.bench_dataset(DATASET).run.all_reads()
+    params = AssemblyParams(k=K, min_contig_length=max(100, K))
+
+    def workload():
+        return RayAssembler().assemble(reads, params, n_ranks=N_RANKS)
+
+    workload()  # warm caches outside the timed runs
+
+    tracer = Tracer()
+    sink = tracer.add_sink(JsonlStreamSink(tmp_path / "live.jsonl", tracer=tracer))
+    detector = StragglerDetector()
+    for wall in (0.2, 0.25, 0.3):  # arm the peer model so check() runs hot
+        detector.note_completion(wall)
+    inflight = [
+        InflightUnit(
+            unit_id=f"unit.{i:06d}",
+            name=f"bench_k{i}",
+            stage="transcript-assembly",
+            submitted_r=time.perf_counter(),
+        )
+        for i in range(4)
+    ]
+    heartbeat = HeartbeatMonitor(
+        tracer,
+        cadence=LIVE_HEARTBEAT_CADENCE,
+        inflight=lambda: inflight,
+        detector=detector,
+    )
+
+    def baseline():
+        workload()
+
+    def live_run():
+        with use_tracer(tracer):
+            workload()
+
+    heartbeat.start()
+    try:
+        w_baseline, w_live = _interleaved_walls([baseline, live_run])
+    finally:
+        heartbeat.stop()
+    tracer.close_sinks()
+    t_baseline, t_live = min(w_baseline), min(w_live)
+
+    # the live stack really ran: records streamed, heartbeats beat
+    assert (tmp_path / "live.jsonl").stat().st_size > 0
+    assert heartbeat.beats > 0
+    assert any(e.name == "unit.heartbeat" for e in tracer.events)
+
+    live_overhead = _best_ratio(w_live, w_baseline) - 1.0
+    record = {
+        "workload": {
+            "dataset": DATASET,
+            "n_reads": len(reads),
+            "assembler": "ray",
+            "k": K,
+            "n_ranks": N_RANKS,
+            "repeats": REPEATS,
+        },
+        "baseline_wall_s": round(t_baseline, 4),
+        "live_wall_s": round(t_live, 4),
+        "live_overhead_frac": round(live_overhead, 4),
+        "heartbeat_cadence_s": LIVE_HEARTBEAT_CADENCE,
+        "heartbeat_beats": heartbeat.beats,
+        "events_recorded": len(tracer.events),
+        "max_live_overhead": MAX_LIVE_OVERHEAD,
+    }
+    _update_result("live_telemetry", record)
+
+    report_sink.append(
+        f"live telemetry overhead ({DATASET}, ray k={K}, {N_RANKS} ranks, "
+        f"sink + {LIVE_HEARTBEAT_CADENCE * 1000:.0f}ms heartbeats): "
+        f"baseline {t_baseline:.3f}s, live {t_live:.3f}s "
+        f"({live_overhead:+.1%}, {heartbeat.beats} beats)"
+    )
+    assert live_overhead < MAX_LIVE_OVERHEAD
 
 
 def _pool_work(chunks: int, iters: int):

@@ -49,8 +49,10 @@ from repro.core.quantify import QuantificationResult, quantify
 from repro.core.schemes import MatchingScheme
 from repro.core.workflow import StageReport, WorkflowPattern
 from repro.obs import Tracer, get_tracer, use_tracer
+from repro.obs.alerts import AlertEngine, parse_rule
 from repro.parallel.costmodel import CostModel
 from repro.parallel.executor import (
+    DelayedWorkload,
     ProcessExecutor,
     WorkloadExecutor,
     make_executor,
@@ -139,6 +141,22 @@ class PipelineConfig:
     #: named stage completes — the simulated driver kill the CI chaos
     #: job uses to exercise checkpoint/resume.
     abort_after_stage: str | None = None
+    #: Declarative SLO/alert rules (see :mod:`repro.obs.alerts`): compact
+    #: specs (``"heartbeat_timeout:30:critical"``) or
+    #: :class:`~repro.obs.alerts.AlertRule` instances.  Non-empty with
+    #: tracing on, an :class:`~repro.obs.alerts.AlertEngine` rides the
+    #: run as a live sink; firings become ``alert`` events in the trace
+    #: and a summary on the pipeline span.  () = no engine.
+    alert_rules: tuple = ()
+    #: Real seconds between per-unit ``unit.heartbeat`` events while
+    #: workloads are in flight (0 = off).  Purely real-clock telemetry:
+    #: results and virtual TTCs are bit-identical either way.
+    heartbeat_cadence: float = 0.0
+    #: Chaos: real-sleep this many seconds inside every fan-out workload
+    #: whose unit name contains ``straggle_unit`` — the straggler drill
+    #: (heartbeats see the delay; no virtual quantity changes).
+    straggle_unit: str | None = None
+    straggle_seconds: float = 0.0
 
     def fingerprint(self) -> str:
         """Stable digest of the result-determining knobs.
@@ -192,6 +210,12 @@ class PipelineConfig:
             raise ValueError("max_restart_rounds must be >= 1")
         if any(dt < 0 for dt in self.preempt_at):
             raise ValueError("preempt_at offsets must be >= 0")
+        if self.heartbeat_cadence < 0:
+            raise ValueError("heartbeat_cadence must be >= 0")
+        if self.straggle_seconds < 0:
+            raise ValueError("straggle_seconds must be >= 0")
+        for rule in self.alert_rules:
+            parse_rule(rule)  # validate specs early
 
 
 @dataclass
@@ -287,6 +311,10 @@ class RnnotatorPipeline:
     ) -> None:
         self.cost_model = cost_model or CostModel()
         self.tracer = tracer
+        #: Alerts fired by the most recent run's engine (empty without
+        #: ``alert_rules``); the smoke CLI reads this for its assertions.
+        self.last_alerts: list = []
+        self._alert_engine: AlertEngine | None = None
 
     # -- public API --------------------------------------------------------
 
@@ -372,7 +400,34 @@ class RnnotatorPipeline:
         prepared_pre=None,
         on_assembly_inflight=None,
     ) -> PipelineResult:
+        """Attach the alert engine (when configured) around the real run
+        body, detaching it whatever happens — run_many reuses one tracer
+        across runs and must not accumulate stale sinks."""
         config = config or PipelineConfig()
+        tracer = get_tracer()
+        engine: AlertEngine | None = None
+        if tracer.enabled and config.alert_rules:
+            engine = AlertEngine(config.alert_rules, tracer=tracer)
+            tracer.add_sink(engine)
+        self._alert_engine = engine
+        try:
+            return self._run_inner(
+                dataset, config, prepared_pre, on_assembly_inflight
+            )
+        finally:
+            self._alert_engine = None
+            if engine is not None:
+                engine.finalize()
+                tracer.remove_sink(engine)
+                self.last_alerts = list(engine.alerts)
+
+    def _run_inner(
+        self,
+        dataset: Dataset,
+        config: PipelineConfig,
+        prepared_pre=None,
+        on_assembly_inflight=None,
+    ) -> PipelineResult:
         spec = dataset.spec
 
         r_run0 = time.perf_counter()
@@ -473,6 +528,7 @@ class RnnotatorPipeline:
             cost_model=self.cost_model,
             checkpoint=ckpt,
             max_restart_rounds=config.max_restart_rounds,
+            heartbeat_cadence=config.heartbeat_cadence,
         )
         um.add_pilot(pa)
 
@@ -631,6 +687,21 @@ class RnnotatorPipeline:
                 lan_bandwidth=transfers.lan_bandwidth,
                 provision_seconds=region.provision_seconds,
             )
+            tracer = get_tracer()
+            if tracer.enabled:
+                # Stream the prediction *now*, not only on the pipeline
+                # span at teardown: budget burn-rate rules and the live
+                # monitor's ETA need planned cost/TTC while the meter is
+                # still running.
+                tracer.event(
+                    "planner.prediction",
+                    category="planner",
+                    ttc_s=prediction.ttc_s,
+                    cost_usd=prediction.cost_usd,
+                    assembly_jobs=plan.n_jobs,
+                    n_nodes=plan.n_nodes,
+                    instance_type=plan.instance_type,
+                )
 
             # ---- pilot P_B: transcript assembly ----------------------------
             pb = pm.submit(
@@ -682,6 +753,7 @@ class RnnotatorPipeline:
                 checkpoint=ckpt,
                 elastic=elastic,
                 max_restart_rounds=config.max_restart_rounds,
+                heartbeat_cadence=config.heartbeat_cadence,
             )
             umb.add_pilot(pb)
 
@@ -738,6 +810,18 @@ class RnnotatorPipeline:
                 max_restarts=config.unit_max_restarts,
                 spectra=spectra,
             )
+            if config.straggle_unit and config.straggle_seconds > 0:
+                # The straggler drill: delay matching workloads in real
+                # time only (virtual usage untouched).
+                descs = [
+                    replace(
+                        d,
+                        work=DelayedWorkload(d.work, config.straggle_seconds),
+                    )
+                    if config.straggle_unit in d.name
+                    else d
+                    for d in descs
+                ]
             t0 = clock.now
             w0 = time.perf_counter()
             units = umb.submit_units(descs)
@@ -813,6 +897,7 @@ class RnnotatorPipeline:
             cost_model=self.cost_model,
             checkpoint=ckpt,
             max_restart_rounds=config.max_restart_rounds,
+            heartbeat_cadence=config.heartbeat_cadence,
         )
         umc.add_pilot(pc)
         # The merge output is a pure function of the fan-out results, so
@@ -924,6 +1009,20 @@ class RnnotatorPipeline:
 
         tracer = get_tracer()
         if tracer.enabled:
+            alert_attrs = {}
+            engine = self._alert_engine
+            if engine is not None:
+                # Rules that only resolve at teardown (cache hit-rate
+                # floors, final budget check) must fire before the root
+                # span stamps the summary; finalize is idempotent.
+                engine.finalize()
+                counts = engine.summary()
+                alert_attrs = {
+                    "alerts_total": sum(counts.values()),
+                    "alerts_critical": counts.get("critical", 0),
+                    "alerts_warning": counts.get("warning", 0),
+                    "alerts_info": counts.get("info", 0),
+                }
             tracer.add_span(
                 "pipeline",
                 v_start=0.0,
@@ -944,6 +1043,7 @@ class RnnotatorPipeline:
                 planner_ttc_s=prediction.ttc_s,
                 planner_cost_usd=prediction.cost_usd,
                 planner_stages=prediction.as_dict()["stages"],
+                **alert_attrs,
             )
 
         return PipelineResult(

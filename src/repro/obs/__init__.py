@@ -10,6 +10,14 @@ to count, and exporters render it all as a JSONL log, a Chrome
 ``python -m repro.obs.report`` turns a trace file into per-stage
 timelines, a virtual-vs-real breakdown and the hottest phases.
 
+The layer also streams: attach a :class:`~repro.obs.live.JsonlStreamSink`
+(or any :class:`TraceSink`) to a live tracer and every span open/close,
+event and metric delta is pushed as it happens — ``python -m
+repro.obs.monitor run.jsonl --follow`` tails the file into a live
+progress view, and :class:`~repro.obs.alerts.AlertEngine` evaluates
+SLO/alert rules (stage-duration SLOs, budget burn, heartbeat timeouts,
+stragglers, cache-hit floors) against the same stream.
+
 Tracing is off by default (:class:`NullTracer`: every call a no-op) and
 never perturbs virtual quantities — TTCs, usage, comm bytes and contigs
 are bit-identical with tracing on or off.
@@ -51,16 +59,17 @@ from repro.obs.tracer import (
     NullTracer,
     SpanRecord,
     Tracer,
+    TraceSink,
     get_tracer,
     set_thread_tracer,
     set_tracer,
     use_tracer,
 )
 
-# The trace-analytics CLIs (critpath, attribution, ledger) are also
-# importable from the package root, but lazily: eager imports here would
-# put them in sys.modules before ``python -m repro.obs.<cli>`` executes
-# them, tripping runpy's double-import warning on every CLI run.
+# The trace-analytics CLIs (critpath, attribution, ledger, monitor) are
+# also importable from the package root, but lazily: eager imports here
+# would put them in sys.modules before ``python -m repro.obs.<cli>``
+# executes them, tripping runpy's double-import warning on every CLI run.
 _LAZY_EXPORTS = {
     "CostAttribution": "repro.obs.attribution",
     "attribute_costs": "repro.obs.attribution",
@@ -72,6 +81,18 @@ _LAZY_EXPORTS = {
     "check_regressions": "repro.obs.ledger",
     "pipeline_ttc": "repro.obs.spans",
     "stage_times": "repro.obs.spans",
+    "Alert": "repro.obs.alerts",
+    "AlertEngine": "repro.obs.alerts",
+    "AlertRule": "repro.obs.alerts",
+    "default_rules": "repro.obs.alerts",
+    "evaluate_alerts": "repro.obs.alerts",
+    "parse_rule": "repro.obs.alerts",
+    "CollectorSink": "repro.obs.live",
+    "HeartbeatMonitor": "repro.obs.live",
+    "InflightUnit": "repro.obs.live",
+    "JsonlStreamSink": "repro.obs.live",
+    "StragglerDetector": "repro.obs.live",
+    "RunState": "repro.obs.monitor",
 }
 
 
@@ -85,21 +106,31 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
     "BufferingTracer",
     "CadenceSampler",
+    "CollectorSink",
     "CostAttribution",
     "Counter",
     "CriticalPath",
     "EventRecord",
     "Gauge",
+    "HeartbeatMonitor",
     "Histogram",
+    "InflightUnit",
+    "JsonlStreamSink",
     "Metrics",
     "NullTracer",
     "ResourceSample",
     "ResourceSampler",
     "RunLedger",
+    "RunState",
     "SpanContext",
     "SpanRecord",
+    "StragglerDetector",
+    "TraceSink",
     "Tracer",
     "VirtualClockFormatter",
     "WorkerTrace",
@@ -108,10 +139,13 @@ __all__ = [
     "check_regressions",
     "chrome_trace",
     "compute_critical_path",
+    "default_rules",
+    "evaluate_alerts",
     "get_tracer",
     "load_jsonl",
     "logging_setup",
     "merge_worker_trace",
+    "parse_rule",
     "pipeline_ttc",
     "set_thread_tracer",
     "set_tracer",

@@ -242,7 +242,7 @@ def merge_worker_trace(
             if s.parent_id is not None
             else context.parent_span_id
         )
-        tracer.spans.append(
+        tracer.record_span(
             replace(
                 s,
                 span_id=id_map[s.span_id],
@@ -255,7 +255,7 @@ def merge_worker_trace(
         )
         merged += 1
     for e in trace.events:
-        tracer.events.append(
+        tracer.record_event(
             replace(
                 e,
                 process=process,
@@ -269,5 +269,8 @@ def merge_worker_trace(
     for gauge in trace.metrics.gauges.values():
         if gauge.updated_r is not None:
             gauge.updated_r += offset
-    tracer.metrics.merge(trace.metrics)
+    tracer.metrics.merge(
+        trace.metrics,
+        on_delta=tracer._emit_delta if tracer._sinks else None,
+    )
     return merged

@@ -21,6 +21,42 @@ from repro.obs.tracer import Tracer
 _US = 1e6
 
 
+def json_default(value):
+    """Fallback serializer for tag values ``json`` does not know.
+
+    Instrumentation tags whatever it has on hand — numpy scalars from a
+    spectrum computation, raw digest bytes, paths, sets — and the
+    exporter must never raise mid-run over it.  Numpy scalars flatten to
+    their Python numbers, bytes decode (or hex-encode when not UTF-8),
+    sets become sorted-ish lists, and anything else falls back to
+    ``repr``."""
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()  # numpy scalars / 0-d arrays
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist") and callable(value.tolist):
+        try:
+            return value.tolist()  # numpy arrays
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (bytes, bytearray)):
+        try:
+            return value.decode("utf-8")
+        except UnicodeDecodeError:
+            return "hex:" + bytes(value).hex()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    return repr(value)
+
+
+def dump_record(record: dict) -> str:
+    """One trace record as a single JSON line (no trailing newline),
+    robust to non-JSON-native tag values — shared by the archival
+    writer and the live streaming sink."""
+    return json.dumps(record, default=json_default)
+
+
 def _records_of(source: "Tracer | Iterable[dict]") -> list[dict]:
     if isinstance(source, Tracer):
         return source.records()
@@ -38,7 +74,7 @@ def write_jsonl(source: "Tracer | Iterable[dict]", path: str | Path) -> Path:
         ]
     with path.open("w") as fh:
         for record in records:
-            fh.write(json.dumps(record) + "\n")
+            fh.write(dump_record(record) + "\n")
     return path
 
 
@@ -188,7 +224,10 @@ def write_chrome(
 ) -> Path:
     """Write a Chrome trace JSON file (open it in Perfetto)."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(source, clock=clock), indent=1))
+    path.write_text(
+        json.dumps(chrome_trace(source, clock=clock), indent=1,
+                   default=json_default)
+    )
     return path
 
 

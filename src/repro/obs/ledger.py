@@ -1,9 +1,10 @@
 """Append-only on-disk run ledger with a regression gate.
 
 One JSON line per pipeline run: config fingerprint, store digest, stage
-virtual/real durations, counters, cost rollup, and a critical-path
-summary — everything needed to answer "did this change make the
-pipeline slower or more expensive?" without re-running history.  CI
+virtual/real durations, counters, cost rollup, alert rollup, and a
+critical-path summary — everything needed to answer "did this change
+make the pipeline slower, more expensive, or noisier?" without
+re-running history.  CI
 appends its smoke run on every build and gates the latest record
 against the median of the preceding comparable window, thresholded like
 :meth:`repro.obs.diff.TraceDiff.violations`.
@@ -147,6 +148,23 @@ def build_record(
         else None
     )
 
+    alert_events = [
+        r
+        for r in trace_records
+        if r.get("type") == "event" and r.get("cat") == "alert"
+    ]
+    alerts = {
+        "total": len(alert_events),
+        "by_severity": {},
+        "by_rule": {},
+    }
+    for alert_event in alert_events:
+        alert_attrs = alert_event.get("attrs", {})
+        sev = alert_attrs.get("severity", "warning")
+        rule = alert_attrs.get("rule", "?")
+        alerts["by_severity"][sev] = alerts["by_severity"].get(sev, 0) + 1
+        alerts["by_rule"][rule] = alerts["by_rule"].get(rule, 0) + 1
+
     counters = metrics_of(trace_records).get("counters", {})
     record = {
         "schema": SCHEMA_VERSION,
@@ -165,6 +183,7 @@ def build_record(
         "cost": cost_rollup,
         "critical_path": path.summary(),
         "planner": planner,
+        "alerts": alerts,
     }
     return record
 
@@ -275,6 +294,24 @@ def check_regressions(
             latest["stages"][stage].get("virtual_s"),
             v_rel,
         )
+    # Alert regressions gate at zero tolerance: any severity firing more
+    # often than its baseline median is a regression (records predating
+    # the alert engine count as zero — alerts are opt-in, so a sudden
+    # first firing at an established dataset/config is exactly the
+    # signal this gate exists for).
+    for severity in ("critical", "warning", "info"):
+        gate(
+            f"alerts.{severity}",
+            median_of(
+                lambda r, s=severity: (r.get("alerts") or {})
+                .get("by_severity", {})
+                .get(s, 0)
+            ),
+            (latest.get("alerts") or {})
+            .get("by_severity", {})
+            .get(severity, 0),
+            0.0,
+        )
     note = (
         f"gated against the median of {len(baseline_pool)} "
         f"comparable baseline record(s)"
@@ -300,6 +337,11 @@ def _summary_line(i: int, rec: dict) -> str:
         + (
             f" planner-err={ttc_err:.2%}"
             if ttc_err is not None
+            else ""
+        )
+        + (
+            f" alerts={(rec.get('alerts') or {}).get('total')}"
+            if (rec.get("alerts") or {}).get("total")
             else ""
         )
         + (f" run_id={rec['run_id']}" if rec.get("run_id") else "")

@@ -162,15 +162,30 @@ class Metrics:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
 
-    def merge(self, other: "Metrics") -> None:
+    def merge(self, other: "Metrics", on_delta=None) -> None:
         """Fold another registry's deltas into this one (see module
-        docstring for the per-kind semantics)."""
+        docstring for the per-kind semantics).
+
+        ``on_delta(kind, name, value)``, when given, is invoked once per
+        folded quantity so a streaming consumer sees merged worker
+        metrics the same way it sees parent-side increments: counters
+        report the folded delta, gauges the incoming value *iff* it won
+        the latest-wins race, histograms one call per observation."""
         for name, counter in other.counters.items():
             self.counter(name).merge(counter)
+            if on_delta is not None and counter.value:
+                on_delta("counter", name, counter.value)
         for name, gauge in other.gauges.items():
-            self.gauge(name).merge(gauge)
+            mine = self.gauge(name)
+            before = (mine.value, mine.updated_r)
+            mine.merge(gauge)
+            if on_delta is not None and (mine.value, mine.updated_r) != before:
+                on_delta("gauge", name, mine.value)
         for name, histogram in other.histograms.items():
             self.histogram(name).merge(histogram)
+            if on_delta is not None:
+                for value in histogram.values:
+                    on_delta("histogram", name, value)
 
     def snapshot(self) -> dict:
         """JSON-ready view of every metric (written into trace files)."""

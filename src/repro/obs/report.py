@@ -11,22 +11,27 @@
   ``phase`` events the usage layer emits);
 * the caching scorecard (count-once k-mer table reuse and the
   content-addressed assembly cache, from their tracer counters);
+* the alert log (when the trace carries rules-engine firings);
 * the per-run cost attribution (when the trace carries billing spans);
 * the metrics snapshot.
 
 ``--chrome out.json`` additionally converts the trace to Chrome
 ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``).
+``--json`` emits the same facts machine-readably (exact floats, no
+formatting loss) instead of the text report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Iterable
 
 from repro.obs.export import load_jsonl, text_summary, write_chrome
 from repro.obs.metrics import Histogram
 from repro.obs.spans import events_of as _events
+from repro.obs.spans import pipeline_span
 from repro.obs.spans import spans_of as _spans
 from repro.obs.spans import v_duration as _v_dur
 
@@ -195,6 +200,21 @@ def cache_scorecard(records: Iterable[dict]) -> str:
     return "\n".join(["cache scorecard:"] + rows)
 
 
+def alerts_section(records: Iterable[dict]) -> str:
+    """The alert log: one line per rules-engine firing in the trace."""
+    alerts = [e for e in _events(records) if e["cat"] == "alert"]
+    if not alerts:
+        return ""
+    rows = [f"alerts ({len(alerts)}):"]
+    for e in alerts:
+        a = e["attrs"]
+        rows.append(
+            f"  [{a.get('severity', '?'):8s}] "
+            f"{a.get('rule', '?')}: {a.get('message', '')}"
+        )
+    return "\n".join(rows)
+
+
 def cost_section(records: list[dict]) -> str:
     """The cost-attribution table, or "" for traces without billing
     spans (unit tests and the fake-clock fixtures trace no VMs)."""
@@ -215,10 +235,67 @@ def build_report(records: list[dict], top: int = 10) -> str:
         virtual_vs_real(records),
         hottest_phases(records, top=top),
         cache_scorecard(records),
+        alerts_section(records),
         cost_section(records),
         text_summary(records, top=top),
     ]
     return "\n\n".join(s for s in sections if s)
+
+
+def report_data(records: list[dict], top: int = 10) -> dict:
+    """The machine-readable report (the ``--json`` output).
+
+    Same facts as :func:`build_report` but exact — no float formatting,
+    no column truncation — and JSON-serializable, so
+    ``json.loads(json.dumps(data))`` round-trips it unchanged.
+    """
+    records = list(records)
+    root = pipeline_span(records)
+    stages: dict[str, dict] = {}
+    for span in _spans(records):
+        if span["cat"] == "stage":
+            stages[span["attrs"].get("stage", span["name"])] = {
+                "virtual_s": _v_dur(span),
+                "real_s": span["r1"] - span["r0"],
+            }
+    categories: dict[str, dict] = {}
+    for span in _spans(records):
+        if span.get("parent") is not None:
+            continue
+        cat = span["cat"] or "default"
+        row = categories.setdefault(cat, {"virtual_s": 0.0, "real_s": 0.0})
+        row["virtual_s"] += _v_dur(span)
+        row["real_s"] += span["r1"] - span["r0"]
+    phases = [e for e in _events(records) if e["cat"] == "phase"]
+    phases.sort(
+        key=lambda e: e["attrs"].get("critical_compute", 0.0), reverse=True
+    )
+    try:
+        from repro.obs.attribution import attribute_costs
+
+        attribution = attribute_costs(records)
+        cost = {
+            "total_usd": attribution.total_usd,
+            "by_bucket_usd": dict(attribution.by_bucket),
+            "n_vms": len(attribution.vms),
+        }
+    except ValueError:
+        cost = None
+    metrics = next(
+        (r["data"] for r in records if r.get("type") == "metrics"), {}
+    )
+    return {
+        "ttc_s": root["v1"] - root["v0"] if root else None,
+        "pipeline": dict(root["attrs"]) if root else {},
+        "stages": stages,
+        "categories": categories,
+        "hottest_phases": [dict(e["attrs"]) for e in phases[:top]],
+        "alerts": [
+            dict(e["attrs"]) for e in _events(records) if e["cat"] == "alert"
+        ],
+        "counters": dict(metrics.get("counters", {})),
+        "cost": cost,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -239,12 +316,21 @@ def main(argv: list[str] | None = None) -> int:
         default="virtual",
         help="timeline for the --chrome export",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the text one",
+    )
     args = parser.parse_args(argv)
     records = load_jsonl(args.trace)
-    print(build_report(records, top=args.top))
+    if args.json:
+        print(json.dumps(report_data(records, top=args.top), indent=2, sort_keys=True))
+    else:
+        print(build_report(records, top=args.top))
     if args.chrome:
         path = write_chrome(records, args.chrome, clock=args.clock)
-        print(f"\nchrome trace written to {path} (load in Perfetto)")
+        if not args.json:  # keep --json stdout parseable
+            print(f"\nchrome trace written to {path} (load in Perfetto)")
     return 0
 
 

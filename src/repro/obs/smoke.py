@@ -26,11 +26,27 @@ CI chaos job):
   units the budget to survive it;
 * ``--expect-checkpoint-hits N`` asserts the run replayed at least N
   unit outcomes (resume actually resumed).
+
+The live-telemetry knobs turn it into the monitor/alert drill:
+
+* ``--live-out PATH`` attaches a streaming
+  :class:`~repro.obs.live.JsonlStreamSink`, so ``python -m
+  repro.obs.monitor PATH --follow`` can watch the run live;
+* ``--heartbeat-cadence S`` emits per-inflight-unit heartbeats (and
+  enables straggler detection) every S real seconds;
+* ``--alert SPEC`` (repeatable) / ``--default-alerts`` arm the SLO
+  rules engine; ``--alert-log PATH`` dumps fired alerts as JSONL;
+* ``--straggle-unit NAME --straggle-seconds S`` delays matching
+  assembly units in *real* time only — virtual TTC/cost untouched —
+  so the straggler detector has something to catch;
+* ``--expect-alert KIND`` (repeatable) / ``--expect-no-alerts`` turn
+  the run into a CI assertion about which alerts fired.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.rnnotator import (
@@ -41,6 +57,7 @@ from repro.core.rnnotator import (
 from repro.core.schemes import MatchingScheme
 from repro.obs import Tracer
 from repro.obs.export import write_jsonl
+from repro.obs.live import JsonlStreamSink
 from repro.seq.datasets import tiny_dataset
 
 #: Exit code of a deliberately killed run (sysexits.h EX_TEMPFAIL: a
@@ -70,6 +87,14 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds between in-workload RSS/CPU samples (0 = endpoints)",
     )
     parser.add_argument("--seed", type=int, default=1, help="dataset seed")
+    parser.add_argument(
+        "--kmer-list",
+        default="35,41",
+        metavar="K,K,...",
+        help="comma-separated k values for the assembly fan-out "
+        "(straggler detection needs >= 4 units: 3 completed peers "
+        "plus the straggler)",
+    )
     parser.add_argument(
         "--scheme",
         default="S2",
@@ -111,11 +136,80 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="fail unless the run replayed at least N checkpointed units",
     )
+    parser.add_argument(
+        "--live-out",
+        default=None,
+        metavar="PATH",
+        help="also stream the trace live to this JSONL file "
+        "(tail it with python -m repro.obs.monitor PATH --follow)",
+    )
+    parser.add_argument(
+        "--heartbeat-cadence",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real seconds between in-flight unit heartbeats "
+        "(0 = off, the default — heartbeats are nondeterministic and "
+        "would churn the CI baseline diff)",
+    )
+    parser.add_argument(
+        "--alert",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="arm one alert rule, kind[:target][:threshold][:severity] "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--default-alerts",
+        action="store_true",
+        help="arm the default rule set (straggler, heartbeat_timeout, "
+        "budget_burn)",
+    )
+    parser.add_argument(
+        "--alert-log",
+        default=None,
+        metavar="PATH",
+        help="write fired alerts to this JSONL file (CI artifact)",
+    )
+    parser.add_argument(
+        "--straggle-unit",
+        default=None,
+        metavar="NAME",
+        help="delay assembly units whose name contains NAME "
+        "(real time only; virtual quantities unchanged)",
+    )
+    parser.add_argument(
+        "--straggle-seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real-time delay for --straggle-unit matches",
+    )
+    parser.add_argument(
+        "--expect-alert",
+        action="append",
+        default=[],
+        metavar="KIND",
+        help="fail unless an alert of this rule kind fired (repeatable)",
+    )
+    parser.add_argument(
+        "--expect-no-alerts",
+        action="store_true",
+        help="fail if any alert fired",
+    )
     args = parser.parse_args(argv)
 
+    alert_rules = list(args.alert)
+    if args.default_alerts:
+        alert_rules = ["straggler", "heartbeat_timeout:30", "budget_burn:1.25"] + alert_rules
+
     tracer = Tracer()
+    live_sink = None
+    if args.live_out is not None:
+        live_sink = tracer.add_sink(JsonlStreamSink(args.live_out, tracer=tracer))
     config = PipelineConfig(
-        kmer_list=(35, 41),
+        kmer_list=tuple(int(k) for k in args.kmer_list.split(",")),
         executor=args.executor,
         executor_workers=args.workers,
         assembly_cache=False,
@@ -125,16 +219,23 @@ def main(argv: list[str] | None = None) -> int:
         abort_after_stage=args.kill_after_stage,
         preempt_at=tuple(args.preempt_at),
         unit_max_restarts=args.max_unit_restarts,
+        alert_rules=tuple(alert_rules),
+        heartbeat_cadence=args.heartbeat_cadence,
+        straggle_unit=args.straggle_unit,
+        straggle_seconds=args.straggle_seconds,
     )
+    pipeline = RnnotatorPipeline(tracer=tracer)
     try:
-        result = RnnotatorPipeline(tracer=tracer).run(
-            tiny_dataset(seed=args.seed), config
-        )
+        result = pipeline.run(tiny_dataset(seed=args.seed), config)
     except PipelineKilled as exc:
+        if live_sink is not None:
+            live_sink.close()
         path = write_jsonl(tracer, args.out)
         print(f"traced smoke killed as requested: {exc} -> {path}")
         return KILLED_EXIT_CODE
 
+    if live_sink is not None:
+        live_sink.close()
     path = write_jsonl(tracer, args.out)
     worker_spans = sum(
         1 for s in tracer.spans if s.process.startswith("worker-")
@@ -166,7 +267,40 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+
+    alerts = pipeline.last_alerts
+    if alert_rules:
+        by_kind: dict[str, int] = {}
+        for alert in alerts:
+            by_kind[alert.rule] = by_kind.get(alert.rule, 0) + 1
+        summary = (
+            ", ".join(f"{k} x{n}" for k, n in sorted(by_kind.items()))
+            or "none"
+        )
+        print(f"alerts fired: {summary}")
+    if args.alert_log is not None:
+        with open(args.alert_log, "w", encoding="utf-8") as fh:
+            for alert in alerts:
+                fh.write(json.dumps(alert.to_dict(), sort_keys=True) + "\n")
+        print(f"alert log -> {args.alert_log} ({len(alerts)} alert(s))")
+    failed = False
+    fired_kinds = {alert.rule for alert in alerts}
+    for kind in args.expect_alert:
+        if kind not in fired_kinds:
+            print(
+                f"ERROR: expected a '{kind}' alert, none fired "
+                f"(fired: {sorted(fired_kinds) or 'none'})",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.expect_no_alerts and alerts:
+        print(
+            f"ERROR: expected a clean run, {len(alerts)} alert(s) fired: "
+            + ", ".join(sorted(fired_kinds)),
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

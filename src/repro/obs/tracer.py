@@ -40,6 +40,7 @@ regardless of backend.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from contextlib import contextmanager
@@ -48,8 +49,39 @@ from typing import Any, Iterator
 
 from repro.obs.metrics import Metrics
 
+_log = logging.getLogger("repro.obs")
+
 #: Default process/thread track names for records emitted outside any span.
 MAIN_TRACK = "main"
+
+
+class TraceSink:
+    """Receives trace records *as they happen* (the streaming bus).
+
+    A sink attached via :meth:`Tracer.add_sink` is handed one dict per
+    occurrence, in emission order:
+
+    * ``{"type": "span_open", ...}``  when a ``span()`` body is entered
+      (same keys as the close record, minus the end timestamps);
+    * ``{"type": "span", ...}``       when a span closes (the archival
+      JSONL schema, bit-identical to what ``write_jsonl`` stores);
+    * ``{"type": "event", ...}``      for point events;
+    * ``{"type": "metric", ...}``     for metric deltas
+      (``kind`` counter/gauge/histogram, ``name``, ``value``, ``r``);
+    * ``{"type": "metrics", "data": snapshot}`` once, from
+      :meth:`close` of sinks that archive final state.
+
+    ``emit`` may be called from any thread (heartbeat monitors and pool
+    callbacks run off the main thread); implementations must lock their
+    own state.  A raising sink is detached rather than allowed to take
+    the run down — telemetry must never fail the pipeline.
+    """
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """End of stream; flush/teardown.  Default: nothing."""
 
 
 @dataclass(frozen=True)
@@ -155,12 +187,43 @@ class Tracer:
         self.metrics = Metrics()
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self._sinks: list[TraceSink] = []
 
     # -- wiring ------------------------------------------------------------
 
     def bind_clock(self, clock: Any) -> None:
         """Attach the virtual clock whose ``.now`` timestamps records."""
         self.clock = clock
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        """Attach a live :class:`TraceSink`; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        """Detach ``sink`` (no-op when it is not attached)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def close_sinks(self) -> None:
+        """Detach and :meth:`~TraceSink.close` every attached sink."""
+        sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            sink.close()
+
+    def _emit(self, record: dict) -> None:
+        """Fan a record out to the attached sinks.  A sink that raises is
+        detached: losing telemetry beats failing the run."""
+        for sink in list(self._sinks):
+            try:
+                sink.emit(record)
+            except Exception:
+                self.remove_sink(sink)
+                _log.warning(
+                    "trace sink %r raised and was detached", sink, exc_info=True
+                )
 
     def _vnow(self) -> float | None:
         clock = self.clock
@@ -205,13 +268,28 @@ class Tracer:
         stack.append(handle)
         v0 = self._vnow()
         r0 = time.perf_counter()
+        if self._sinks:
+            self._emit(
+                {
+                    "type": "span_open",
+                    "name": name,
+                    "cat": category,
+                    "process": proc,
+                    "thread": thr,
+                    "v": v0,
+                    "r": r0,
+                    "id": handle.span_id,
+                    "parent": parent_id,
+                    "attrs": attrs,
+                }
+            )
         try:
             yield handle
         finally:
             r1 = time.perf_counter()
             v1 = self._vnow()
             stack.pop()
-            self.spans.append(
+            self.record_span(
                 SpanRecord(
                     name=name,
                     category=category,
@@ -244,7 +322,7 @@ class Tracer:
         known once its completion event fires)."""
         proc, thr, parent_id = self._track(process, thread)
         r_now = time.perf_counter()
-        self.spans.append(
+        self.record_span(
             SpanRecord(
                 name=name,
                 category=category,
@@ -271,7 +349,7 @@ class Tracer:
     ) -> None:
         """Record a point event (``v`` overrides the bound clock's now)."""
         proc, thr, _ = self._track(process, thread)
-        self.events.append(
+        self.record_event(
             EventRecord(
                 name=name,
                 category=category,
@@ -283,16 +361,48 @@ class Tracer:
             )
         )
 
+    def record_span(self, record: SpanRecord) -> None:
+        """Append a finished :class:`SpanRecord` and stream it to the
+        sinks — the single chokepoint every span (inline, retroactive,
+        merged-from-worker) goes through."""
+        self.spans.append(record)
+        if self._sinks:
+            self._emit(record.to_dict())
+
+    def record_event(self, record: EventRecord) -> None:
+        """Append an :class:`EventRecord` and stream it (see
+        :meth:`record_span`)."""
+        self.events.append(record)
+        if self._sinks:
+            self._emit(record.to_dict())
+
     # -- metric conveniences ------------------------------------------------
 
     def count(self, name: str, amount: float = 1.0) -> None:
         self.metrics.counter(name).inc(amount)
+        if self._sinks:
+            self._emit_delta("counter", name, amount)
 
     def gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set(value)
+        if self._sinks:
+            self._emit_delta("gauge", name, value)
 
     def observe(self, name: str, value: float) -> None:
         self.metrics.histogram(name).observe(value)
+        if self._sinks:
+            self._emit_delta("histogram", name, value)
+
+    def _emit_delta(self, kind: str, name: str, value: float) -> None:
+        self._emit(
+            {
+                "type": "metric",
+                "kind": kind,
+                "name": name,
+                "value": value,
+                "r": time.perf_counter(),
+            }
+        )
 
     # -- views ---------------------------------------------------------------
 
@@ -339,10 +449,21 @@ class NullTracer(Tracer):
     def bind_clock(self, clock: Any) -> None:
         pass
 
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        # Zero-cost promise: a NullTracer never records, so it never
+        # streams either.  The sink is returned unattached.
+        return sink
+
     def span(self, name, category="", process=None, thread=None, **attrs):
         return _NULL_CONTEXT
 
     def add_span(self, *args, **kwargs) -> None:
+        pass
+
+    def record_span(self, record: SpanRecord) -> None:
+        pass
+
+    def record_event(self, record: EventRecord) -> None:
         pass
 
     def event(self, *args, **kwargs) -> None:

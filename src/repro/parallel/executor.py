@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -117,6 +118,25 @@ class ReplayWorkload:
 
     def __call__(self) -> tuple[Any, ResourceUsage | None]:
         return self.result, self.usage
+
+
+@dataclass(frozen=True)
+class DelayedWorkload:
+    """Chaos wrapper: sleep ``delay_seconds`` of *real* time, then run.
+
+    The straggler drill for the live-telemetry layer: the wrapped unit
+    takes longer on the host clock — so heartbeats see it run past its
+    peers — while every virtual quantity (the usage record the cost
+    model prices) is untouched, preserving TTC/dollar parity.
+    Picklable, so it crosses the process backend like any workload.
+    """
+
+    work: Workload
+    delay_seconds: float
+
+    def __call__(self) -> tuple[Any, ResourceUsage]:
+        time.sleep(self.delay_seconds)
+        return self.work()
 
 
 def run_workload(
@@ -213,6 +233,12 @@ class WorkloadExecutor(ABC):
         ``context`` requests worker-side tracing (see module docstring);
         backends that execute inline may ignore it."""
 
+    def inflight_count(self) -> int:
+        """Workloads submitted but not yet finished.  Inline backends
+        are never in flight between calls; pool backends count live
+        futures — what the heartbeat monitor stamps on its beats."""
+        return 0
+
     def shutdown(self) -> None:
         """Release pool resources (idempotent; no-op for serial)."""
 
@@ -269,6 +295,8 @@ class _PoolExecutor(WorkloadExecutor):
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers or self._default_workers()
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     @staticmethod
     def _default_workers() -> int:
@@ -276,6 +304,14 @@ class _PoolExecutor(WorkloadExecutor):
 
     def _make_pool(self):
         raise NotImplementedError
+
+    def inflight_count(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def _workload_done(self, _future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
 
     def submit(
         self, work: Workload, context: SpanContext | None = None
@@ -286,6 +322,9 @@ class _PoolExecutor(WorkloadExecutor):
             future = self._pool.submit(run_workload, work, context)
         except Exception as exc:  # pool broken / shut down
             return _ReadyHandle(WorkloadOutcome(error=exc))
+        with self._inflight_lock:
+            self._inflight += 1
+        future.add_done_callback(self._workload_done)
         return _FutureHandle(future)
 
     def shutdown(self) -> None:

@@ -26,12 +26,14 @@ the whole cluster.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.cloud.sge import SGEJob
 from repro.obs import get_tracer
 from repro.obs.context import SpanContext, merge_worker_trace
+from repro.obs.live import HeartbeatMonitor, InflightUnit, StragglerDetector
 from repro.parallel.costmodel import CostModel, MachineConfig, fits_in_memory
 from repro.parallel.executor import (
     ReplayWorkload,
@@ -89,13 +91,25 @@ class PilotAgent:
     #: Durable checkpoint store: DONE unit outcomes are recorded under
     #: their ``description.checkpoint_key`` and replayed on later runs.
     checkpoint: "CheckpointStore | None" = None
+    #: Real seconds between ``unit.heartbeat`` events per in-flight
+    #: workload (0 = heartbeats off).  Heartbeats live entirely on the
+    #: real clock; virtual TTCs are identical with them on or off.
+    heartbeat_cadence: float = 0.0
+    #: Peer-comparison analyzer fed each completed workload's wall time;
+    #: shared across agents when the manager injects one, else built
+    #: here when heartbeats are on.
+    straggler: StragglerDetector | None = None
     _pending: dict[
-        str, tuple[ComputeUnit, WorkloadHandle, SpanContext | None, bool]
+        str,
+        tuple[ComputeUnit, WorkloadHandle, SpanContext | None, bool, float],
     ] = field(default_factory=dict, repr=False)
+    _heartbeat: HeartbeatMonitor | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.pilot.cluster is None:
             raise AgentError(f"{self.pilot.pilot_id} has no cluster")
+        if self.heartbeat_cadence > 0 and self.straggler is None:
+            self.straggler = StragglerDetector()
 
     # -- the pilot's slice of the cluster ----------------------------------
 
@@ -195,20 +209,69 @@ class PilotAgent:
                 resource_cadence=self.resource_cadence,
             )
             handle = self.executor.submit(work, context)
-        self._pending[unit.unit_id] = (unit, handle, context, replayed)
+        self._pending[unit.unit_id] = (
+            unit, handle, context, replayed, time.perf_counter(),
+        )
+        self._ensure_heartbeat(tracer)
+
+    # -- heartbeats --------------------------------------------------------
+
+    def _inflight_snapshot(self) -> list[InflightUnit]:
+        """The pending table as the heartbeat thread sees it (a copy —
+        the beat never holds the agent up)."""
+        executor_inflight = self.executor.inflight_count()
+        return [
+            InflightUnit(
+                unit_id=unit_id,
+                name=unit.description.name,
+                stage=unit.description.stage,
+                submitted_r=submitted_r,
+                attrs={
+                    "backend": self.executor.name,
+                    "executor_inflight": executor_inflight,
+                },
+            )
+            for unit_id, (unit, _, _, _, submitted_r) in list(
+                self._pending.items()
+            )
+        ]
+
+    def _ensure_heartbeat(self, tracer) -> None:
+        if self.heartbeat_cadence <= 0 or not tracer.enabled:
+            return
+        if self._heartbeat is None:
+            self._heartbeat = HeartbeatMonitor(
+                tracer,
+                self.heartbeat_cadence,
+                self._inflight_snapshot,
+                process=self.pilot.pilot_id,
+                detector=self.straggler,
+            )
+        self._heartbeat.start()
+
+    def stop_heartbeat(self) -> None:
+        """Stop the heartbeat thread (idempotent; restartable)."""
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
 
     # -- phase 2: collect --------------------------------------------------
 
     def collect(self, unit: ComputeUnit) -> None:
         """Block on the unit's workload outcome and enqueue its SGE job."""
         try:
-            unit, handle, context, replayed = self._pending.pop(unit.unit_id)
+            unit, handle, context, replayed, _ = self._pending.pop(
+                unit.unit_id
+            )
         except KeyError:
             raise AgentError(
                 f"{unit.unit_id} has no pending workload on "
                 f"{self.pilot.pilot_id}"
             ) from None
         outcome = handle.outcome()
+        if not self._pending and self._heartbeat is not None:
+            self._heartbeat.stop()  # restarted by the next submit round
+        if self.straggler is not None and outcome.ok:
+            self.straggler.note_completion(outcome.wall_seconds)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -263,12 +326,12 @@ class PilotAgent:
 
     def drain(self) -> None:
         """Collect every pending unit, in dispatch order."""
-        for unit, _, _, _ in list(self._pending.values()):
+        for unit, _, _, _, _ in list(self._pending.values()):
             self.collect(unit)
 
     @property
     def pending_units(self) -> list[ComputeUnit]:
-        return [unit for unit, _, _, _ in self._pending.values()]
+        return [unit for unit, _, _, _, _ in self._pending.values()]
 
     # -- pricing and the virtual-clock SGE job -----------------------------
 

@@ -21,6 +21,7 @@ from repro.cloud.clock import EventQueue
 from repro.cloud.cluster import Cluster, build_cluster, cluster_from_vms
 from repro.cloud.ec2 import EC2Region
 from repro.obs import get_tracer
+from repro.obs.live import StragglerDetector
 from repro.parallel.costmodel import CostModel
 from repro.parallel.executor import WorkloadExecutor, make_executor
 from repro.pilot.agent import PilotAgent
@@ -167,6 +168,11 @@ class UnitManager:
     #: DONE outcomes are recorded under their checkpoint keys and
     #: replayed bit-identically on resume.
     checkpoint: "CheckpointStore | None" = None
+    #: Real seconds between per-unit ``unit.heartbeat`` events while
+    #: workloads are in flight, forwarded to every agent (0 = off).
+    #: Agents share one straggler detector, so peer wall times compare
+    #: across the whole manager, not per pilot.
+    heartbeat_cadence: float = 0.0
     #: Elastic pool controller (the S3 scheme): consulted each restart
     #: round to grow the pilot's cluster from SGE queue depth.
     elastic: "ElasticPool | None" = None
@@ -177,9 +183,12 @@ class UnitManager:
     pilots: list[Pilot] = field(default_factory=list)
     units: list[ComputeUnit] = field(default_factory=list)
     _agents: dict[str, PilotAgent] = field(default_factory=dict)
+    _straggler: "StragglerDetector | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.executor = make_executor(self.executor)
+        if self.heartbeat_cadence > 0:
+            self._straggler = StragglerDetector()
 
     def add_pilot(self, pilot: Pilot) -> None:
         if pilot.state is not PilotState.ACTIVE:
@@ -191,6 +200,8 @@ class UnitManager:
             executor=self.executor,
             resource_cadence=self.resource_cadence,
             checkpoint=self.checkpoint,
+            heartbeat_cadence=self.heartbeat_cadence,
+            straggler=self._straggler,
         )
 
     def submit_units(
@@ -334,6 +345,9 @@ class UnitManager:
         self.events.run()
 
     def close(self) -> None:
-        """Release the executor backend's pool resources (idempotent)."""
+        """Release the executor backend's pool resources and stop any
+        heartbeat threads (idempotent)."""
+        for agent in self._agents.values():
+            agent.stop_heartbeat()
         if isinstance(self.executor, WorkloadExecutor):
             self.executor.shutdown()

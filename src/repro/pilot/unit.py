@@ -69,6 +69,7 @@ class ComputeUnit:
                 old=old.value,
                 new=new.value,
                 unit=self.description.name,
+                stage=self.description.stage,
             )
         for hook in self.transition_hooks:
             hook(self, old, new)

@@ -128,6 +128,112 @@ class TestTraceContent:
         assert stage_ttcs(records) == {s.name: s.ttc for s in result.stages}
 
 
+@pytest.fixture(scope="module")
+def live_traced(ds_single, tmp_path_factory):
+    """The same run with the full live stack attached: a collector sink,
+    a streaming JSONL sink, heartbeats and an armed rules engine."""
+    from repro.obs.live import CollectorSink, JsonlStreamSink
+
+    tracer = Tracer()
+    collector = tracer.add_sink(CollectorSink())
+    stream_path = tmp_path_factory.mktemp("live") / "live.jsonl"
+    sink = tracer.add_sink(JsonlStreamSink(stream_path, tracer=tracer))
+    pipeline = RnnotatorPipeline(tracer=tracer)
+    result = pipeline.run(
+        ds_single,
+        PipelineConfig(
+            **CONFIG,
+            heartbeat_cadence=0.02,
+            alert_rules=("straggler", "budget_burn:10"),
+        ),
+    )
+    sink.close()
+    return result, tracer, collector, stream_path, pipeline
+
+
+class TestStreamingParity:
+    """Attaching live telemetry must not perturb a single virtual bit."""
+
+    def test_contigs_identical_with_live_sinks(self, live_traced, untraced):
+        result, *_ = live_traced
+        assert [t.seq for t in result.transcripts] == [
+            t.seq for t in untraced.transcripts
+        ]
+
+    def test_totals_identical_with_live_sinks(self, live_traced, untraced):
+        result, *_ = live_traced
+        assert result.total_ttc == untraced.total_ttc
+        assert result.total_cost == untraced.total_cost
+
+    def test_stage_ttcs_identical_with_live_sinks(self, live_traced, untraced):
+        result, *_ = live_traced
+        assert [
+            (s.name, s.started_at, s.finished_at) for s in result.stages
+        ] == [(s.name, s.started_at, s.finished_at) for s in untraced.stages]
+
+    def test_usage_identical_with_live_sinks(self, live_traced, untraced):
+        result, *_ = live_traced
+        for key in result.assemblies:
+            assert (
+                result.assemblies[key].usage.phases
+                == untraced.assemblies[key].usage.phases
+            )
+
+    def test_stream_carries_every_archival_record(self, live_traced):
+        _, tracer, collector, _, _ = live_traced
+        streamed_spans = [
+            r for r in collector.records if r["type"] == "span"
+        ]
+        streamed_events = [
+            r for r in collector.records if r["type"] == "event"
+        ]
+        # every archived span/event (worker merges included) streamed
+        assert len(streamed_spans) == len(tracer.spans)
+        assert len(streamed_events) == len(tracer.events)
+        assert {r["process"] for r in streamed_spans} == {
+            s.process for s in tracer.spans
+        }
+
+    def test_heartbeats_streamed(self, live_traced):
+        _, tracer, collector, _, _ = live_traced
+        beats = [
+            r
+            for r in collector.records
+            if r["type"] == "event" and r["name"] == "unit.heartbeat"
+        ]
+        assert beats, "no heartbeat reached the stream"
+        assert all(r["attrs"]["elapsed_r"] >= 0 for r in beats)
+
+    def test_monitor_live_equals_posthoc(self, live_traced, tmp_path):
+        from repro.obs.monitor import final_summary, replay
+
+        _, tracer, _, stream_path, _ = live_traced
+        stream_records = load_jsonl(stream_path)
+        archive_path = write_jsonl(tracer, tmp_path / "archive.jsonl")
+        archive_records = load_jsonl(archive_path)
+        live_view = final_summary(replay(stream_records))
+        posthoc_view = final_summary(replay(archive_records))
+        assert "COMPLETE" in live_view
+        assert live_view == posthoc_view  # byte-for-byte
+
+    def test_pipeline_span_carries_alert_summary(self, live_traced):
+        from repro.obs.spans import pipeline_span
+
+        _, tracer, _, _, _ = live_traced
+        attrs = pipeline_span(tracer.records())["attrs"]
+        assert attrs["alerts_total"] == (
+            attrs["alerts_critical"]
+            + attrs["alerts_warning"]
+            + attrs["alerts_info"]
+        )
+
+    def test_last_alerts_exposed_on_pipeline(self, live_traced):
+        *_, pipeline = live_traced
+        # a healthy quickstart run trips neither straggler nor a 10x
+        # budget blowout — but the engine ran and recorded that fact
+        assert pipeline.last_alerts == []
+
+
 class TestTraceAnalytics:
     """The analytics layer closed against a real pipeline run."""
 

@@ -120,3 +120,59 @@ class TestTextSummary:
         records = load_jsonl(write_jsonl(tr, tmp_path / "t.jsonl"))
         text = text_summary(records)
         assert "vms_launched" in text  # metrics record picked up
+
+
+class TestJsonDefault:
+    """Exporter robustness for non-JSON-native tag values (satellite:
+    numpy scalars and bytes land in span attrs from the assembly layer)."""
+
+    def test_numpy_scalars_serialize_as_numbers(self):
+        np = pytest.importorskip("numpy")
+        from repro.obs.export import dump_record
+
+        record = {
+            "type": "event",
+            "attrs": {
+                "k": np.int64(41),
+                "coverage": np.float32(7.5),
+                "counts": np.array([1, 2, 3]),
+            },
+        }
+        loaded = json.loads(dump_record(record))
+        assert loaded["attrs"]["k"] == 41
+        assert loaded["attrs"]["coverage"] == 7.5
+        assert loaded["attrs"]["counts"] == [1, 2, 3]
+
+    def test_bytes_decode_or_hex(self):
+        from repro.obs.export import dump_record
+
+        loaded = json.loads(
+            dump_record(
+                {"attrs": {"tag": b"ACGT", "digest": b"\xde\xad\xbe\xef"}}
+            )
+        )
+        assert loaded["attrs"]["tag"] == "ACGT"
+        assert loaded["attrs"]["digest"] == "hex:deadbeef"
+
+    def test_sets_sorted_and_fallback_repr(self):
+        from repro.obs.export import dump_record
+
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        loaded = json.loads(
+            dump_record({"attrs": {"ks": {41, 35}, "obj": Odd()}})
+        )
+        assert loaded["attrs"]["ks"] == [35, 41]
+        assert loaded["attrs"]["obj"] == "<odd>"
+
+    def test_traced_numpy_tags_survive_write_jsonl(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        tr = Tracer(FakeClock())
+        with tr.span("assemble", category="unit", k=np.int64(41),
+                     n50=np.float64(1234.5)):
+            pass
+        path = write_jsonl(tr, tmp_path / "np.jsonl")
+        [span] = [r for r in load_jsonl(path) if r["type"] == "span"]
+        assert span["attrs"] == {"k": 41, "n50": 1234.5}

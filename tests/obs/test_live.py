@@ -1,0 +1,290 @@
+"""Streaming sinks, heartbeats and straggler detection (repro.obs.live)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import NullTracer, Tracer
+from repro.obs.context import (
+    BufferingTracer,
+    SpanContext,
+    merge_worker_trace,
+)
+from repro.obs.live import (
+    CollectorSink,
+    HeartbeatMonitor,
+    InflightUnit,
+    JsonlStreamSink,
+    StragglerDetector,
+)
+from repro.obs.tracer import TraceSink
+
+
+class TestSinkProtocol:
+    def test_span_open_and_close_stream(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectorSink())
+        with tracer.span("work", category="unit", shard=3):
+            pass
+        types = [r["type"] for r in sink.records]
+        assert types == ["span_open", "span"]
+        opened, closed = sink.records
+        assert opened["name"] == closed["name"] == "work"
+        assert opened["id"] == closed["id"]
+        assert opened["attrs"]["shard"] == 3
+        assert closed["r1"] >= closed["r0"]
+
+    def test_events_and_metric_deltas_stream(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectorSink())
+        tracer.event("tick", category="test", n=1)
+        tracer.count("widgets", 2)
+        tracer.gauge("depth", 7.0)
+        tracer.observe("sizes", 11.0)
+        kinds = [(r["type"], r.get("kind")) for r in sink.records]
+        assert kinds == [
+            ("event", None),
+            ("metric", "counter"),
+            ("metric", "gauge"),
+            ("metric", "histogram"),
+        ]
+        assert sink.records[1]["name"] == "widgets"
+        assert sink.records[1]["value"] == 2
+
+    def test_no_sink_records_nothing_extra(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            tracer.count("widgets")
+        # no sinks: the archival record stores are the only artifacts
+        assert len(tracer.spans) == 1
+
+    def test_raising_sink_is_detached_not_fatal(self):
+        class Boom(TraceSink):
+            def emit(self, record):
+                raise RuntimeError("sink died")
+
+        tracer = Tracer()
+        boom = tracer.add_sink(Boom())
+        survivor = tracer.add_sink(CollectorSink())
+        tracer.event("tick")
+        tracer.event("tock")
+        assert boom not in tracer._sinks
+        assert [r["name"] for r in survivor.records] == ["tick", "tock"]
+
+    def test_null_tracer_add_sink_is_inert(self):
+        tracer = NullTracer()
+        sink = tracer.add_sink(CollectorSink())
+        with tracer.span("work"):
+            tracer.count("widgets")
+        assert sink.records == []
+
+    def test_close_sinks_closes_and_clears(self):
+        closed = []
+
+        class Closing(TraceSink):
+            def emit(self, record):
+                pass
+
+            def close(self):
+                closed.append(self)
+
+        tracer = Tracer()
+        tracer.add_sink(Closing())
+        tracer.add_sink(Closing())
+        tracer.close_sinks()
+        assert len(closed) == 2
+        assert tracer._sinks == []
+
+    def test_merged_worker_records_stream(self):
+        parent = Tracer()
+        sink = parent.add_sink(CollectorSink())
+        context = SpanContext.capture(parent, thread="w0")
+        worker = BufferingTracer()
+        with worker.span("chunk", category="worker"):
+            worker.count("chunks")
+        merge_worker_trace(parent, worker.to_worker_trace(), context)
+        names = [
+            r["name"] for r in sink.records if r["type"] == "span"
+        ]
+        assert "chunk" in names
+        deltas = [
+            r
+            for r in sink.records
+            if r["type"] == "metric" and r["name"] == "chunks"
+        ]
+        assert deltas and deltas[-1]["value"] == 1
+
+
+class TestJsonlStreamSink:
+    def test_lines_parse_incrementally_and_snapshot_on_close(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "live.jsonl"
+        sink = tracer.add_sink(JsonlStreamSink(path, tracer=tracer))
+        with tracer.span("work", category="unit"):
+            tracer.count("widgets")
+        # flushed per line: parseable before close
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == [
+            "span_open",
+            "metric",
+            "span",
+        ]
+        sink.close()
+        final = json.loads(path.read_text().splitlines()[-1])
+        assert final["type"] == "metrics"
+        assert final["data"]["counters"]["widgets"] == 1
+
+    def test_emit_after_close_is_ignored(self, tmp_path):
+        sink = JsonlStreamSink(tmp_path / "live.jsonl")
+        sink.close()
+        sink.emit({"type": "event", "name": "late"})  # must not raise
+        sink.close()  # idempotent
+
+
+class TestStragglerDetector:
+    def test_needs_min_peers(self):
+        det = StragglerDetector(min_peers=3)
+        det.note_completion(1.0)
+        det.note_completion(1.0)
+        assert det.threshold() is None
+        assert det.check("u", 100.0) is None
+        det.note_completion(1.0)
+        assert det.threshold() is not None
+
+    def test_threshold_is_median_mad_with_ratio_floor(self):
+        det = StragglerDetector(k=3.0, min_peers=3, min_ratio=1.75)
+        for wall in (1.0, 1.0, 1.0):
+            det.note_completion(wall)
+        # MAD is 0: the ratio floor keeps the cutoff off the median
+        assert det.threshold() == pytest.approx(1.75)
+        det2 = StragglerDetector(k=3.0, min_peers=3, min_ratio=1.0)
+        for wall in (1.0, 2.0, 9.0):
+            det2.note_completion(wall)
+        # median 2, MAD 1 -> 2 + 3*1 = 5 > min_ratio*median
+        assert det2.threshold() == pytest.approx(5.0)
+
+    def test_flags_once_per_unit(self):
+        det = StragglerDetector(min_peers=3)
+        for wall in (1.0, 1.0, 1.2):
+            det.note_completion(wall)
+        evidence = det.check("slow", 10.0)
+        assert evidence is not None
+        assert evidence["unit"] == "slow"
+        assert evidence["elapsed_r"] == 10.0
+        assert evidence["peers"] == 3
+        assert det.check("slow", 20.0) is None  # already flagged
+        assert det.check("fine", 0.5) is None
+
+    def test_rejects_degenerate_min_peers(self):
+        with pytest.raises(ValueError):
+            StragglerDetector(min_peers=1)
+
+
+class TestHeartbeatMonitor:
+    def _unit(self, name="ray_k35", elapsed_ago=0.5):
+        return InflightUnit(
+            unit_id="unit.000001",
+            name=name,
+            stage="transcript-assembly",
+            submitted_r=time.perf_counter() - elapsed_ago,
+            attrs={"backend": "process"},
+        )
+
+    def test_beat_emits_one_event_per_unit(self):
+        tracer = Tracer()
+        monitor = HeartbeatMonitor(
+            tracer, cadence=10.0, inflight=lambda: [self._unit()],
+            process="pilot.0001",
+        )
+        monitor.beat()
+        beats = [e for e in tracer.events if e.name == "unit.heartbeat"]
+        assert len(beats) == 1
+        beat = beats[0]
+        assert beat.category == "heartbeat"
+        assert beat.process == "pilot.0001"
+        assert beat.attrs["unit"] == "ray_k35"
+        assert beat.attrs["stage"] == "transcript-assembly"
+        assert beat.attrs["backend"] == "process"
+        assert beat.attrs["elapsed_r"] >= 0.5
+        assert beat.attrs["inflight"] == 1
+
+    def test_straggler_event_from_detector(self):
+        tracer = Tracer()
+        detector = StragglerDetector(min_peers=3)
+        for wall in (0.01, 0.01, 0.012):
+            detector.note_completion(wall)
+        monitor = HeartbeatMonitor(
+            tracer,
+            cadence=10.0,
+            inflight=lambda: [self._unit(elapsed_ago=5.0)],
+            detector=detector,
+        )
+        monitor.beat()
+        monitor.beat()  # verdict must not repeat
+        stragglers = [
+            e for e in tracer.events if e.name == "unit.straggler"
+        ]
+        assert len(stragglers) == 1
+        attrs = stragglers[0].attrs
+        assert attrs["severity"] == "warning"
+        assert attrs["unit"] == "ray_k35"
+        assert attrs["elapsed_r"] > attrs["threshold_r"]
+
+    def test_thread_beats_and_stop_is_idempotent(self):
+        tracer = Tracer()
+        monitor = HeartbeatMonitor(
+            tracer, cadence=0.01, inflight=lambda: [self._unit()]
+        )
+        monitor.start()
+        monitor.start()  # no second thread
+        deadline = time.time() + 5.0
+        while monitor.beats < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        monitor.stop()
+        monitor.stop()
+        assert monitor.beats >= 3
+        # restartable after stop (the pilot agent's submit/collect cycle)
+        monitor.start()
+        assert monitor._thread is not None
+        monitor.stop()
+
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(Tracer(), cadence=0.0, inflight=list)
+
+    def test_heartbeats_never_touch_virtual_clock(self):
+        class FakeClock:
+            now = 42.0
+
+        tracer = Tracer(clock=FakeClock())
+        monitor = HeartbeatMonitor(
+            tracer, cadence=10.0, inflight=lambda: [self._unit()]
+        )
+        monitor.beat()
+        assert tracer.clock.now == 42.0
+        beat = next(e for e in tracer.events if e.name == "unit.heartbeat")
+        assert beat.v_time == 42.0  # stamped, never advanced
+
+
+class TestConcurrentEmission:
+    def test_sink_sees_all_records_across_threads(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectorSink())
+        n, workers = 200, 4
+
+        def hammer(tid):
+            for i in range(n):
+                tracer.event("tick", thread=f"t{tid}", i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = [r for r in sink.records if r["type"] == "event"]
+        assert len(events) == n * workers

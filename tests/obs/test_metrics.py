@@ -182,3 +182,56 @@ class TestMerge:
         snap = parent.snapshot()
         parent.merge(Metrics())
         assert parent.snapshot() == snap
+
+
+class TestMergeEdgeCases:
+    def test_empty_histogram_merge_is_noop(self):
+        a, b = Histogram("wait"), Histogram("wait")
+        a.observe(1.0)
+        a.merge(b)
+        assert a.values == [1.0]
+        b.merge(Histogram("wait"))
+        assert b.values == []
+        assert b.summary()["count"] == 0
+
+    def test_gauge_tie_at_equal_real_time_incoming_wins(self):
+        mine, incoming = Gauge("k"), Gauge("k")
+        mine.set(25, r_time=5.0)
+        incoming.set(31, r_time=5.0)
+        mine.merge(incoming)
+        # exact tie: the incoming side is "the newer registry"
+        assert mine.value == 31
+
+    def test_counter_folding_across_repeated_merges(self):
+        parent = Metrics()
+        for round_total in (2.0, 2.0, 2.0):
+            worker = Metrics()
+            worker.counter("chunks").inc(round_total)
+            parent.merge(worker)
+        assert parent.counter("chunks").value == 6.0
+
+    def test_on_delta_reports_folded_quantities(self):
+        parent, worker = Metrics(), Metrics()
+        parent.gauge("k").set(31, r_time=9.0)
+        worker.counter("chunks").inc(3)
+        worker.gauge("k").set(25, r_time=1.0)  # stale: loses, no delta
+        worker.histogram("wait").observe(1.0)
+        worker.histogram("wait").observe(2.0)
+        deltas = []
+        parent.merge(
+            worker, on_delta=lambda kind, name, v: deltas.append((kind, name, v))
+        )
+        assert ("counter", "chunks", 3.0) in deltas
+        assert ("histogram", "wait", 1.0) in deltas
+        assert ("histogram", "wait", 2.0) in deltas
+        assert not any(kind == "gauge" for kind, _, _ in deltas)
+
+    def test_on_delta_skips_zero_counters_and_empty_histograms(self):
+        parent, worker = Metrics(), Metrics()
+        worker.counter("zero")  # created, never incremented
+        worker.histogram("empty")
+        deltas = []
+        parent.merge(
+            worker, on_delta=lambda *args: deltas.append(args)
+        )
+        assert deltas == []

@@ -6,11 +6,13 @@ from pathlib import Path
 from repro.obs import Tracer, write_jsonl
 from repro.obs.export import chrome_trace
 from repro.obs.report import (
+    alerts_section,
     build_report,
     cache_scorecard,
     hottest_phases,
     main,
     process_timelines,
+    report_data,
     stage_table,
     stage_ttcs,
     virtual_vs_real,
@@ -190,6 +192,24 @@ def golden_records() -> list[dict]:
                       "critical_compute": 5000.0, "comm_bytes": 123456},
         },
         {
+            # A live heartbeat: ignored by every report section except
+            # the monitor's in-flight view.
+            "type": "event", "name": "unit.heartbeat", "cat": "heartbeat",
+            "process": "pilot.1", "thread": "u1", "v": 200.0, "r": 1.9,
+            "attrs": {"unit": "ray_k41", "stage": "transcript-assembly",
+                      "elapsed_r": 0.4, "inflight": 1},
+        },
+        {
+            # A rules-engine firing: feeds the report's alert log.
+            "type": "event", "name": "alert", "cat": "alert",
+            "process": "main", "thread": "main", "v": 4123.25, "r": 3.0,
+            "attrs": {"rule": "stage_duration", "severity": "critical",
+                      "message": "stage transcript-assembly took 4000.0 "
+                      "virtual s (SLO 3600 s)",
+                      "stage": "transcript-assembly", "ttc_s": 4000.0,
+                      "slo_s": 3600.0},
+        },
+        {
             "type": "metrics",
             "data": {
                 "counters": {"units_done": 5, "worker_records_merged": 2},
@@ -219,6 +239,47 @@ class TestGoldenReport:
         text = GOLDEN_PATH.read_text()
         assert "worker-4242" in text
         assert "worker_records_merged" in text
+
+    def test_golden_mentions_alerts(self):
+        text = GOLDEN_PATH.read_text()
+        assert "alerts (1):" in text
+        assert "[critical] stage_duration" in text
+
+
+class TestAlertsSection:
+    def test_renders_one_line_per_firing(self):
+        text = alerts_section(golden_records())
+        assert text.startswith("alerts (1):")
+        assert "stage transcript-assembly took 4000.0" in text
+
+    def test_empty_without_alert_events(self):
+        assert alerts_section(make_records()) == ""
+
+
+class TestJsonReport:
+    def test_report_data_round_trips_through_json(self):
+        data = report_data(golden_records())
+        assert json.loads(json.dumps(data)) == data
+
+    def test_report_data_contents(self):
+        data = report_data(golden_records())
+        assert data["stages"]["pre-processing"]["virtual_s"] == 123.25
+        assert data["stages"]["transcript-assembly"]["virtual_s"] == 4000.0
+        assert data["counters"]["units_done"] == 5
+        assert len(data["alerts"]) == 1
+        assert data["alerts"][0]["rule"] == "stage_duration"
+        assert data["hottest_phases"][0]["phase"] == "kmer-count"
+        # worker span is nested (parent set): excluded from category totals
+        assert "worker" not in data["categories"]
+
+    def test_cli_json_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in golden_records()) + "\n"
+        )
+        assert main([str(path), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == report_data(golden_records())
 
 
 class TestChromeWorkerTracks:
